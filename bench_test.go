@@ -1,0 +1,206 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§V). Each
+// regenerates its experiment series and reports the headline number as a
+// custom metric, so `go test -bench=.` doubles as the reproduction run:
+//
+//	go test -bench=. -benchmem .
+//
+// The flow-model experiments (Fig. 1, 7, 8, 9, summary) are deterministic
+// and fast; Fig. 6 and Fig. 10 execute the real protocol state machines on
+// the discrete-event simulator. Ablation benchmarks at the bottom isolate
+// the design decisions DESIGN.md calls out.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/crypto"
+	"repro/internal/flowsim"
+	"repro/internal/model"
+	"repro/internal/rcc"
+	"repro/internal/simnet"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+// reportPeak extracts a table's peak numeric cell in the given column.
+func reportPeak(b *testing.B, t *bench.Table, col int, unit string) {
+	b.Helper()
+	peak := 0.0
+	for _, row := range t.Rows {
+		var v float64
+		if _, err := sscan(row[col], &v); err == nil && v > peak {
+			peak = v
+		}
+	}
+	b.ReportMetric(peak, unit)
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}
+
+func BenchmarkFig1AnalyticalBounds(b *testing.B) {
+	var pts []model.Point
+	for i := 0; i < b.N; i++ {
+		pts = model.Fig1Series(model.DefaultFig1(400), 100)
+	}
+	b.ReportMetric(pts[len(pts)-1].Tcmax, "Tcmax_txn/s_n=100")
+	b.ReportMetric(pts[len(pts)-1].Tmax, "Tmax_txn/s_n=100")
+}
+
+func BenchmarkFig6OrderingAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.Fig6(); len(t.Rows) != 4 {
+			b.Fatal("fig6 rows")
+		}
+	}
+}
+
+func BenchmarkFig7LeftSingleReplica(b *testing.B) {
+	env := flowsim.DefaultEnv()
+	for i := 0; i < b.N; i++ {
+		_ = flowsim.SingleReplicaFull(env, 100)
+	}
+	b.ReportMetric(flowsim.SingleReplicaReply(env), "reply_txn/s")
+	b.ReportMetric(flowsim.SingleReplicaFull(env, 100), "full_txn/s")
+}
+
+func BenchmarkFig7RightCrypto(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig7Right()
+	}
+	_ = t
+}
+
+func benchFig8(b *testing.B, f func() *bench.Table) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = f()
+	}
+	reportPeak(b, t, 1, "peak_RCCn_ktxn/s")
+}
+
+func BenchmarkFig8aScalabilityNoFailures(b *testing.B)  { benchFig8(b, bench.Fig8a) }
+func BenchmarkFig8bLatencyNoFailures(b *testing.B)      { benchFig8(b, bench.Fig8b) }
+func BenchmarkFig8cScalabilityOneFailure(b *testing.B)  { benchFig8(b, bench.Fig8c) }
+func BenchmarkFig8dLatencyOneFailure(b *testing.B)      { benchFig8(b, bench.Fig8d) }
+func BenchmarkFig8eBatchingThroughput(b *testing.B)     { benchFig8(b, bench.Fig8e) }
+func BenchmarkFig8fBatchingLatency(b *testing.B)        { benchFig8(b, bench.Fig8f) }
+func BenchmarkFig8gNoOutOfOrderThroughput(b *testing.B) { benchFig8(b, bench.Fig8g) }
+func BenchmarkFig8hNoOutOfOrderLatency(b *testing.B)    { benchFig8(b, bench.Fig8h) }
+
+func BenchmarkFig9Paradigm(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig9()
+	}
+	reportPeak(b, t, 3, "peak_RCC-S_ktxn/s")
+}
+
+func BenchmarkFig10FailureTimeline(b *testing.B) {
+	cfg := bench.DefaultFig10()
+	cfg.Horizon = 30 * time.Second // trimmed for benchmark iterations
+	cfg.CrashP2At = 20 * time.Second
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummaryRatios(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Summary()
+	}
+	_ = t
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md "Key design decisions")
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationConcurrency sweeps the instance count m at n=32,
+// isolating the effect of concurrency (RCC3 vs RCCf+1 vs RCCn).
+func BenchmarkAblationConcurrency(b *testing.B) {
+	for _, m := range []int{1, 3, 11, 32} {
+		b.Run(fmtSprintf("m=%d", m), func(b *testing.B) {
+			var r flowsim.Result
+			for i := 0; i < b.N; i++ {
+				r = flowsim.Evaluate(flowsim.Setup{
+					Protocol: flowsim.PBFT, N: 32, Concurrent: m, BatchSize: 100,
+					Crypto: crypto.SchemeMAC, ClientSig: crypto.SchemeMAC, OutOfOrder: true,
+				})
+			}
+			b.ReportMetric(r.Throughput, "txn/s")
+		})
+	}
+}
+
+// BenchmarkAblationOutOfOrder isolates the out-of-order window (Fig. 8 g,h
+// reduced to one on/off pair).
+func BenchmarkAblationOutOfOrder(b *testing.B) {
+	for _, ooo := range []bool{true, false} {
+		b.Run(fmtSprintf("ooo=%v", ooo), func(b *testing.B) {
+			var r flowsim.Result
+			for i := 0; i < b.N; i++ {
+				r = flowsim.Evaluate(flowsim.Setup{
+					Protocol: flowsim.PBFT, N: 32, Concurrent: 1, BatchSize: 100,
+					Crypto: crypto.SchemeMAC, ClientSig: crypto.SchemeMAC, OutOfOrder: ooo,
+				})
+			}
+			b.ReportMetric(r.Throughput, "txn/s")
+		})
+	}
+}
+
+// BenchmarkPermutationOrdering measures §IV's f_S permutation selection for
+// the paper's largest deployment (m=91 instances per round).
+func BenchmarkPermutationOrdering(b *testing.B) {
+	digests := make([]types.Digest, 91)
+	for i := range digests {
+		digests[i] = types.Hash([]byte{byte(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rcc.ExecutionOrder(digests, true)
+	}
+}
+
+// BenchmarkSimnetRCCRound measures full protocol rounds (4 replicas, all
+// four instances deciding and executing) on the discrete-event simulator.
+func BenchmarkSimnetRCCRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := simnet.New(simnet.Config{N: 4, Latency: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps := make([]*rcc.Replica, 4)
+		for j := 0; j < 4; j++ {
+			reps[j] = rcc.New(rcc.Config{BatchSize: 1, Window: 4})
+			net.SetMachine(types.ReplicaID(j), reps[j])
+		}
+		net.Start()
+		for c := types.ClientID(1); c <= 4; c++ {
+			tx := types.Transaction{Client: c, Seq: 1, Op: []byte{byte(c)}}
+			req := types.NewClientRequest(0, tx)
+			for r := 0; r < 4; r++ {
+				node := net.Node(types.ReplicaID(r))
+				net.Schedule(0, func() { node.Machine().OnMessage(sm.FromClient(tx.Client), req) })
+			}
+		}
+		net.Run(time.Second)
+		if reps[0].RoundsExecuted() == 0 {
+			b.Fatal("no rounds executed")
+		}
+	}
+}
+
+// Small wrappers so the benchmark file reads without extra imports above.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+func fmtSprintf(f string, a ...any) string       { return fmt.Sprintf(f, a...) }

@@ -1,0 +1,90 @@
+// Command rccbench regenerates the RCC paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports; EXPERIMENTS.md
+// records measured-vs-paper values.
+//
+// Usage:
+//
+//	rccbench -exp all        # every flow-model experiment
+//	rccbench -exp fig8a      # one experiment
+//	rccbench -exp fig10      # simnet failure timeline (slower)
+//	rccbench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (see -list)")
+	list := flag.Bool("list", false, "list experiment IDs")
+	flag.Parse()
+
+	byID := map[string]func() *bench.Table{
+		"fig1left":  func() *bench.Table { return bench.Fig1(20) },
+		"fig1right": func() *bench.Table { return bench.Fig1(400) },
+		"fig6":      bench.Fig6,
+		"fig7left":  bench.Fig7Left,
+		"fig7right": bench.Fig7Right,
+		"fig8a":     bench.Fig8a,
+		"fig8b":     bench.Fig8b,
+		"fig8c":     bench.Fig8c,
+		"fig8d":     bench.Fig8d,
+		"fig8e":     bench.Fig8e,
+		"fig8f":     bench.Fig8f,
+		"fig8g":     bench.Fig8g,
+		"fig8h":     bench.Fig8h,
+		"fig9":      bench.Fig9,
+	}
+	order := []string{
+		"fig1left", "fig1right", "fig6", "fig7left", "fig7right",
+		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
+		"fig9", "fig10", "summary", "validate",
+	}
+
+	if *list {
+		for _, id := range order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	runOne := func(id string) {
+		switch id {
+		case "fig10":
+			t, err := bench.Fig10(bench.DefaultFig10())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fig10: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(t.Render())
+		case "summary":
+			fmt.Println(bench.Summary().Render())
+		case "validate":
+			t, err := bench.Validate()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(t.Render())
+		default:
+			f, ok := byID[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			fmt.Println(f().Render())
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range order {
+			runOne(id)
+		}
+		return
+	}
+	runOne(*exp)
+}

@@ -1,0 +1,129 @@
+// Command rccnode runs one replica of a consensus deployment over TCP: the
+// same protocol machines, execution engine, and ledger the tests and
+// benchmarks exercise, wired to real sockets.
+//
+// Example 4-replica RCC deployment on one machine:
+//
+//	for i in 0 1 2 3; do
+//	  rccnode -id $i -n 4 \
+//	    -peers 0=:7000,1=:7001,2=:7002,3=:7003 &
+//	done
+//	rccclient -n 4 -peers 0=:7000,1=:7001,2=:7002,3=:7003 -txns 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/quorum"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/ycsb"
+)
+
+func parsePeers(s string) (map[types.ReplicaID]string, error) {
+	peers := make(map[types.ReplicaID]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		peers[types.ReplicaID(id)] = kv[1]
+	}
+	return peers, nil
+}
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "replica ID (0..n-1)")
+		n        = flag.Int("n", 4, "number of replicas")
+		peersArg = flag.String("peers", "", "comma-separated id=host:port peer map (including self)")
+		listen   = flag.String("listen", "", "listen address (defaults to the self entry of -peers)")
+		protoArg = flag.String("protocol", "rcc", "protocol: rcc, rcc-z, rcc-s, pbft, zyzzyva, sbft, hotstuff, mirbft")
+		batch    = flag.Int("batch", 100, "transactions per proposal")
+		window   = flag.Int("window", 4, "out-of-order proposal window")
+		records  = flag.Int("records", ycsb.DefaultRecords, "YCSB table records")
+		macKey   = flag.String("mac-secret", "", "shared MAC secret (enables HMAC frame authentication)")
+		statsSec = flag.Int("stats", 10, "stats print interval in seconds (0 off)")
+	)
+	flag.Parse()
+
+	peers, err := parsePeers(*peersArg)
+	if err != nil {
+		log.Fatalf("rccnode: %v", err)
+	}
+	if *listen == "" {
+		*listen = peers[types.ReplicaID(*id)]
+	}
+	params, err := quorum.NewParams(*n)
+	if err != nil {
+		log.Fatalf("rccnode: %v", err)
+	}
+
+	opts := core.Options{
+		N:         *n,
+		Protocol:  core.Protocol(*protoArg),
+		BatchSize: *batch,
+		Window:    *window,
+	}
+	machine, err := core.BuildMachine(&opts)
+	if err != nil {
+		log.Fatalf("rccnode: %v", err)
+	}
+
+	rep := runtime.New(runtime.Config{
+		ID:             types.ReplicaID(*id),
+		Params:         params,
+		Machine:        machine,
+		App:            ycsb.NewStore(*records),
+		Journal:        true,
+		ReplyToClients: true,
+	})
+
+	var auth crypto.Authenticator
+	if *macKey != "" {
+		auth = crypto.NewMAC(crypto.PartyID(types.ReplicaID(*id)), []byte(*macKey))
+	}
+	tcp, err := transport.NewTCP(transport.TCPConfig{
+		Self:   types.ReplicaID(*id),
+		Listen: *listen,
+		Peers:  peers,
+		Auth:   auth,
+	}, rep)
+	if err != nil {
+		log.Fatalf("rccnode: %v", err)
+	}
+	rep.Attach(tcp)
+	rep.Run()
+	log.Printf("rccnode: replica %d/%d (%s) listening on %s", *id, *n, *protoArg, tcp.Addr())
+
+	if *statsSec > 0 {
+		go func() {
+			var last uint64
+			for range time.Tick(time.Duration(*statsSec) * time.Second) {
+				cur := rep.Executed()
+				log.Printf("rccnode: executed %d txns (%.0f txn/s)", cur, float64(cur-last)/float64(*statsSec))
+				last = cur
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	rep.Stop()
+}

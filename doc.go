@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "RCC: Resilient
+// Concurrent Consensus for High-Throughput Secure Transaction Processing"
+// (Gupta, Hellings, Sadoghi — ICDE 2021).
+//
+// The public API lives in internal/core (cluster assembly), the paradigm in
+// internal/rcc, the baseline protocols in internal/{pbft,zyzzyva,sbft,
+// hotstuff,mirbft}, and the experiment harness in internal/bench plus
+// cmd/rccbench. See README.md for the tour, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for measured-vs-paper results.
+//
+// The root-level benchmarks (bench_test.go) expose one testing.B target per
+// table and figure of the paper's evaluation:
+//
+//	go test -bench=. -benchmem .
+package repro

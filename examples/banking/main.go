@@ -1,0 +1,79 @@
+// Banking: the ordering-attack example of the paper (Example IV.1, Fig. 6).
+//
+// Two conditional transfers — T1 = transfer(Alice, Bob, 500, 200) and
+// T2 = transfer(Bob, Eve, 400, 300) — produce different final balances
+// depending on execution order, which a malicious primary can exploit. The
+// example first shows both outcomes directly, then runs a live RCC cluster
+// with §IV's deterministic-but-unpredictable permutation ordering, where no
+// single primary chooses the order.
+//
+//	go run ./examples/banking
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bank"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/types"
+)
+
+var opening = map[string]int64{"Alice": 800, "Bob": 300, "Eve": 100}
+
+func show(title string, b *bank.Bank) {
+	fmt.Printf("%-22s Alice=%-4d Bob=%-4d Eve=%-4d\n",
+		title, b.Balance("Alice"), b.Balance("Bob"), b.Balance("Eve"))
+}
+
+func main() {
+	t1 := bank.Transfer{From: "Alice", To: "Bob", Threshold: 500, Amount: 200}
+	t2 := bank.Transfer{From: "Bob", To: "Eve", Threshold: 400, Amount: 300}
+
+	// Part 1: the attack surface. A primary that orders T1 before T2
+	// enriches Eve; the reverse order leaves Eve with nothing (Fig. 6).
+	fmt.Println("== the ordering attack (paper Fig. 6) ==")
+	direct := func(order ...bank.Transfer) *bank.Bank {
+		b := bank.New(opening)
+		for i, tr := range order {
+			b.Execute(types.Transaction{Client: 1, Seq: uint64(i + 1), Op: tr.Encode()})
+		}
+		return b
+	}
+	show("original", direct())
+	show("first T1, then T2", direct(t1, t2))
+	show("first T2, then T1", direct(t2, t1))
+
+	// Part 2: RCC's mitigation, live. Two clients submit the transfers to
+	// different concurrent instances in the same round; the executed
+	// permutation is f_S(digest(S) mod (k!−1)) — fixed only after all
+	// proposals of the round are known, so no primary can steer it.
+	fmt.Println("\n== live RCC cluster with §IV permutation ordering ==")
+	cluster, err := core.NewCluster(core.Options{
+		N:                     4,
+		Protocol:              core.RCC,
+		UnpredictableOrdering: true,
+		App:                   func() exec.Application { return bank.New(opening) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+	cluster.Start()
+
+	alice := cluster.NewClient(1) // served by instance 1
+	bob := cluster.NewClient(2)   // served by instance 2
+	done := make(chan error, 2)
+	go func() { _, err := alice.Execute(t1.Encode(), 5*time.Second); done <- err }()
+	go func() { _, err := bob.Execute(t2.Encode(), 5*time.Second); done <- err }()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("both transfers committed; the execution order was chosen by")
+	fmt.Println("the round digest, not by any primary — and it is identical on")
+	fmt.Println("all replicas because the permutation seed is deterministic.")
+}

@@ -1,0 +1,83 @@
+// Recovery: watch RCC's wait-free per-instance recovery (paper §III-C,
+// Fig. 4) in a live cluster — crash one primary, observe the FAILURE →
+// stop(i;E) → restart-penalty cycle through the Status API, and see healthy
+// instances keep serving clients throughout.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rcc"
+	"repro/internal/types"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	cluster, err := core.NewCluster(core.Options{
+		N:               4,
+		Protocol:        core.RCC,
+		ProgressTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+	cluster.Start()
+
+	// Client 4 maps to instance 0 (healthy throughout); client 1 would be
+	// served by instance 1, whose primary we are about to kill.
+	cl := cluster.NewClient(4)
+	if _, err := cl.Execute(ycsb.EncodeWrite(1, []byte("warm-up")), 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cluster healthy; crashing replica 1 (primary of instance 1)...")
+	cluster.Crash(1)
+
+	// Keep the healthy instances busy: wait-free design goals D4/D5 say
+	// these transactions must keep committing while recovery runs.
+	go func() {
+		for i := 0; ; i++ {
+			if _, err := cl.Execute(ycsb.EncodeWrite(uint32(100+i), []byte("load")), 30*time.Second); err != nil {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	// Watch instance 1's recovery state machine from replica 0's view.
+	// Machine state is read through Inspect (machines are single-threaded
+	// by contract).
+	rep := cluster.Machine(0).(*rcc.Replica)
+	status := func() rcc.Status {
+		var st rcc.Status
+		cluster.Replica(0).Inspect(func() { st = rep.Status(types.InstanceID(1)) })
+		return st
+	}
+	seen := rcc.Status{}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		st := status()
+		if st != seen {
+			fmt.Printf("instance 1: suspected=%-5v confirmed=%-5v stops=%d voidBelow=%-4d (penalty 2^%d rounds)\n",
+				st.Suspected, st.Confirmed, st.Stops, st.VoidBelow, st.Stops)
+			seen = st
+		}
+		if st.Stops >= 2 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	final := status()
+	if final.Stops == 0 {
+		log.Fatal("no stop was ever accepted — recovery failed")
+	}
+	fmt.Printf("\nrecovery worked: %d stop(1;E) operations accepted through the\n", final.Stops)
+	fmt.Println("coordinating consensus; each doubled the restart penalty (Fig. 4")
+	fmt.Println("line 12), and the healthy instances never stopped serving clients.")
+}

@@ -1,0 +1,124 @@
+// Package bank implements the financial-service state machine of the
+// paper's ordering-attack example (Example IV.1, Fig. 6): conditional
+// transfers of the form
+//
+//	transfer(A, B, n, m) := if amount(A) > n then withdraw(A, m); deposit(B, m)
+//
+// whose outcomes depend on execution order, which is what a malicious
+// primary exploits in an ordering attack and what RCC's deterministic
+// unpredictable permutation ordering mitigates.
+package bank
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Transfer is the conditional-transfer transaction payload.
+type Transfer struct {
+	From, To  string
+	Threshold int64 // n: transfer only if amount(From) > n
+	Amount    int64 // m
+}
+
+// Encode serializes the transfer into a Transaction.Op payload.
+func (t Transfer) Encode() []byte {
+	buf := make([]byte, 0, 32+len(t.From)+len(t.To))
+	buf = appendString(buf, t.From)
+	buf = appendString(buf, t.To)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.Threshold))
+	return binary.BigEndian.AppendUint64(buf, uint64(t.Amount))
+}
+
+// DecodeTransfer parses a transfer payload.
+func DecodeTransfer(op []byte) (Transfer, error) {
+	var t Transfer
+	var err error
+	t.From, op, err = readString(op)
+	if err != nil {
+		return t, err
+	}
+	t.To, op, err = readString(op)
+	if err != nil {
+		return t, err
+	}
+	if len(op) < 16 {
+		return t, fmt.Errorf("bank: short transfer payload")
+	}
+	t.Threshold = int64(binary.BigEndian.Uint64(op))
+	t.Amount = int64(binary.BigEndian.Uint64(op[8:]))
+	return t, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, fmt.Errorf("bank: short string")
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n {
+		return "", nil, fmt.Errorf("bank: truncated string")
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// Bank is a deterministic account store implementing exec.Application.
+// Not safe for concurrent use.
+type Bank struct {
+	balances map[string]int64
+	applied  uint64
+}
+
+// New creates a bank with the given opening balances.
+func New(opening map[string]int64) *Bank {
+	b := &Bank{balances: make(map[string]int64, len(opening))}
+	for k, v := range opening {
+		b.balances[k] = v
+	}
+	return b
+}
+
+// Balance returns the balance of account a (0 when absent).
+func (b *Bank) Balance(a string) int64 { return b.balances[a] }
+
+// Execute applies one transfer transaction. The result byte reports whether
+// the conditional fired (1) or not (0).
+func (b *Bank) Execute(tx types.Transaction) []byte {
+	if tx.IsNoOp() {
+		return nil
+	}
+	t, err := DecodeTransfer(tx.Op)
+	if err != nil {
+		return []byte{0xff}
+	}
+	b.applied++
+	if b.balances[t.From] > t.Threshold {
+		b.balances[t.From] -= t.Amount
+		b.balances[t.To] += t.Amount
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// StateDigest hashes all balances in deterministic (sorted) order.
+func (b *Bank) StateDigest() types.Digest {
+	names := make([]string, 0, len(b.balances))
+	for k := range b.balances {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, 16*len(names))
+	for _, k := range names {
+		buf = appendString(buf, k)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(b.balances[k]))
+	}
+	return types.Hash(buf)
+}

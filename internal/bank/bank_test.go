@@ -1,0 +1,116 @@
+package bank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestTransferCodecRoundTrip(t *testing.T) {
+	f := func(from, to string, threshold, amount int64) bool {
+		if len(from) > 60000 || len(to) > 60000 {
+			return true
+		}
+		tr := Transfer{From: from, To: to, Threshold: threshold, Amount: amount}
+		got, err := DecodeTransfer(tr.Encode())
+		return err == nil && got == tr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTransfer([]byte{0}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestPaperFig6Outcomes(t *testing.T) {
+	// The exact table of Fig. 6.
+	t1 := Transfer{From: "Alice", To: "Bob", Threshold: 500, Amount: 200}
+	t2 := Transfer{From: "Bob", To: "Eve", Threshold: 400, Amount: 300}
+	opening := map[string]int64{"Alice": 800, "Bob": 300, "Eve": 100}
+
+	run := func(order ...Transfer) *Bank {
+		b := New(opening)
+		for i, tr := range order {
+			b.Execute(types.Transaction{Client: 1, Seq: uint64(i + 1), Op: tr.Encode()})
+		}
+		return b
+	}
+
+	b12 := run(t1, t2)
+	if b12.Balance("Alice") != 600 || b12.Balance("Bob") != 200 || b12.Balance("Eve") != 400 {
+		t.Fatalf("T1;T2 = %d/%d/%d, want 600/200/400",
+			b12.Balance("Alice"), b12.Balance("Bob"), b12.Balance("Eve"))
+	}
+	b21 := run(t2, t1)
+	if b21.Balance("Alice") != 600 || b21.Balance("Bob") != 500 || b21.Balance("Eve") != 100 {
+		t.Fatalf("T2;T1 = %d/%d/%d, want 600/500/100",
+			b21.Balance("Alice"), b21.Balance("Bob"), b21.Balance("Eve"))
+	}
+}
+
+func TestConditionalThreshold(t *testing.T) {
+	b := New(map[string]int64{"A": 100, "B": 0})
+	// amount(A) > 100 is false: transfer must not fire.
+	out := b.Execute(types.Transaction{Client: 1, Seq: 1,
+		Op: Transfer{From: "A", To: "B", Threshold: 100, Amount: 50}.Encode()})
+	if out[0] != 0 || b.Balance("A") != 100 || b.Balance("B") != 0 {
+		t.Fatal("transfer fired below threshold")
+	}
+	// amount(A) > 99 is true: fires.
+	out = b.Execute(types.Transaction{Client: 1, Seq: 2,
+		Op: Transfer{From: "A", To: "B", Threshold: 99, Amount: 50}.Encode()})
+	if out[0] != 1 || b.Balance("A") != 50 || b.Balance("B") != 50 {
+		t.Fatal("transfer did not fire above threshold")
+	}
+}
+
+func TestConservationOfMoney(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := New(map[string]int64{"A": 1000, "B": 1000, "C": 1000})
+		names := []string{"A", "B", "C"}
+		for i, op := range ops {
+			tr := Transfer{
+				From:      names[int(op)%3],
+				To:        names[int(op/3)%3],
+				Threshold: int64(op%7) * 100,
+				Amount:    int64(op%5) * 50,
+			}
+			b.Execute(types.Transaction{Client: 1, Seq: uint64(i + 1), Op: tr.Encode()})
+		}
+		return b.Balance("A")+b.Balance("B")+b.Balance("C") == 3000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateDigestDeterministic(t *testing.T) {
+	mk := func() *Bank {
+		b := New(map[string]int64{"X": 5, "Y": 10})
+		b.Execute(types.Transaction{Client: 1, Seq: 1,
+			Op: Transfer{From: "Y", To: "X", Threshold: 1, Amount: 3}.Encode()})
+		return b
+	}
+	if mk().StateDigest() != mk().StateDigest() {
+		t.Fatal("identical histories produced different digests")
+	}
+	b := mk()
+	before := b.StateDigest()
+	b.Execute(types.Transaction{Client: 1, Seq: 2,
+		Op: Transfer{From: "X", To: "Y", Threshold: 1, Amount: 2}.Encode()})
+	if b.StateDigest() == before {
+		t.Fatal("digest unchanged by a firing transfer")
+	}
+}
+
+func TestGarbageAndNoOp(t *testing.T) {
+	b := New(nil)
+	if out := b.Execute(types.Transaction{Client: 1, Seq: 1, Op: []byte{1}}); out[0] != 0xff {
+		t.Fatal("garbage not flagged")
+	}
+	if b.Execute(types.NoOp()) != nil {
+		t.Fatal("noop produced output")
+	}
+}

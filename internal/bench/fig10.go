@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mirbft"
+	"repro/internal/rcc"
+	"repro/internal/simnet"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+// Fig10Config parameterizes the failure-timeline experiment.
+type Fig10Config struct {
+	// N is the number of replicas (the paper runs m = 11 instances).
+	N int
+	// Horizon is the virtual duration of the run.
+	Horizon time.Duration
+	// Bucket is the sampling granularity of the timeline.
+	Bucket time.Duration
+	// InjectEvery is the per-client request period.
+	InjectEvery time.Duration
+	// CrashP1At / CrashP2At schedule the failures (paper events a and c).
+	CrashP1At time.Duration
+	CrashP2At time.Duration
+}
+
+// DefaultFig10 mirrors the paper's timeline compressed to simulate quickly:
+// P1 fails early, P1+P2 fail later, and the run is long enough to watch
+// recovery and (for Mir-BFT) gradual re-enablement.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{
+		N:           11,
+		Horizon:     60 * time.Second,
+		Bucket:      2 * time.Second,
+		InjectEvery: 100 * time.Millisecond,
+		CrashP1At:   10 * time.Second,
+		CrashP2At:   35 * time.Second,
+	}
+}
+
+// fig10Run drives one system (factory builds the per-replica machine) and
+// returns delivered-transaction counts per bucket, measured at replica 0.
+func fig10Run(cfg Fig10Config, factory func() sm.Machine) ([]uint64, error) {
+	net, err := simnet.New(simnet.Config{N: cfg.N, Latency: time.Millisecond, Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.N; i++ {
+		net.SetMachine(types.ReplicaID(i), factory())
+	}
+	net.Start()
+
+	// Client load: one client per replica-led instance, issuing a request
+	// every InjectEvery. Requests are broadcast so every replica forwards
+	// them (and can detect neglect).
+	seqs := make([]uint64, cfg.N)
+	for c := 1; c <= cfg.N; c++ {
+		client := types.ClientID(c)
+		idx := c - 1
+		period := cfg.InjectEvery
+		var schedule func(at time.Duration)
+		schedule = func(at time.Duration) {
+			if at > cfg.Horizon {
+				return
+			}
+			net.Schedule(at, func() {
+				seqs[idx]++
+				tx := types.Transaction{Client: client, Seq: seqs[idx], Op: []byte{byte(client), byte(seqs[idx])}}
+				req := types.NewClientRequest(0, tx)
+				for r := 0; r < cfg.N; r++ {
+					node := net.Node(types.ReplicaID(r))
+					node.Machine().OnMessage(sm.FromClient(client), req)
+				}
+				schedule(at + period)
+			})
+		}
+		schedule(period)
+	}
+
+	net.Schedule(cfg.CrashP1At, func() { net.Crash(1) })
+	net.Schedule(cfg.CrashP2At, func() { net.Crash(2) })
+
+	// Clients served by the crashed primaries ask to be reassigned to a
+	// healthy instance (§III-E SwitchInstance). Under RCC the reassignment
+	// is agreed through the coordinating consensus of the old instance;
+	// Mir-BFT re-buckets clients on its own at epoch changes and ignores
+	// these messages.
+	reassign := func(c types.ClientID, from, to types.InstanceID) {
+		sw := &types.SwitchInstance{Client: c, To: to}
+		sw.Inst = from
+		for r := 0; r < cfg.N; r++ {
+			node := net.Node(types.ReplicaID(r))
+			node.Machine().OnMessage(sm.FromClient(c), sw)
+		}
+	}
+	net.Schedule(cfg.CrashP1At+4*time.Second, func() { reassign(1, 1, 0) })
+	net.Schedule(cfg.CrashP2At+4*time.Second, func() { reassign(2, 2, 3) })
+
+	// Sample delivered real transactions at replica 0 per bucket.
+	buckets := int(cfg.Horizon / cfg.Bucket)
+	counts := make([]uint64, buckets)
+	var prev uint64
+	count := func() uint64 {
+		var total uint64
+		for _, d := range net.Node(0).Decisions() {
+			if d.Batch == nil {
+				continue
+			}
+			for _, tx := range d.Batch.Txns {
+				if !tx.IsNoOp() {
+					total++
+				}
+			}
+		}
+		return total
+	}
+	for b := 0; b < buckets; b++ {
+		net.Run(time.Duration(b+1) * cfg.Bucket)
+		cur := count()
+		counts[b] = cur - prev
+		prev = cur
+	}
+	return counts, nil
+}
+
+// Fig10 reproduces the Fig. 10 failure timeline: RCC's wait-free
+// per-instance recovery versus Mir-BFT's fully-coordinated epoch changes,
+// with primaries P1 (and later P2) crashing mid-run. The series is the
+// per-bucket transaction throughput at replica 0.
+func Fig10(cfg Fig10Config) (*Table, error) {
+	if cfg.N == 0 {
+		cfg = DefaultFig10()
+	}
+	// Failure-detection timeouts are paper-scale (seconds): the recovery
+	// periods of Fig. 10 span multiple sampling buckets.
+	rccCounts, err := fig10Run(cfg, func() sm.Machine {
+		return rcc.New(rcc.Config{
+			BatchSize:       1,
+			Window:          4,
+			ProgressTimeout: time.Second,
+			RecoveryTimeout: 1500 * time.Millisecond,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	mirCounts, err := fig10Run(cfg, func() sm.Machine {
+		return mirbft.New(mirbft.Config{
+			BatchSize:         1,
+			Window:            4,
+			ProgressTimeout:   time.Second,
+			StabilityInterval: 8 * time.Second,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID: "fig10",
+		Title: fmt.Sprintf(
+			"Failure timeline, m=%d instances (txn per %s bucket at replica 0); P1 fails at %s, P1+P2 at %s",
+			cfg.N, cfg.Bucket, cfg.CrashP1At, cfg.CrashP2At),
+		Header: []string{"t(s)", "RCC", "MirBFT"},
+	}
+	for b := range rccCounts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", (time.Duration(b+1) * cfg.Bucket).Seconds()),
+			fmt.Sprint(rccCounts[b]),
+			fmt.Sprint(mirCounts[b]),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,361 @@
+// Package client implements the client-side protocol machines of the
+// evaluated systems: submitting transactions, collecting replies, and
+// retransmitting or escalating on timeout.
+//
+// PBFT-style protocols (PBFT, SBFT, HotStuff, RCC): a client accepts a
+// result once f+1 replicas report the identical outcome (one of them must
+// be non-faulty). If the assigned primary neglects the request, the client
+// broadcasts it to all replicas, which forward it and start failure
+// detection (§III-E "forced execution").
+//
+// Zyzzyva: a client first waits for all n matching speculative responses
+// (fast path). If only nf = 2f+1 arrive within the timeout, it assembles a
+// commit certificate, broadcasts it, and completes after nf LOCAL-COMMIT
+// acknowledgements. The paper observes (§V-F) that waiting on all n replies
+// makes RCC-Z require far more concurrent clients than RCC-S to reach peak
+// throughput.
+package client
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+// Mode selects the reply-collection protocol.
+type Mode uint8
+
+// Client modes.
+const (
+	ModePBFT    Mode = iota // f+1 matching replies
+	ModeZyzzyva             // n matching spec responses, else commit cert
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// Client is the client identity.
+	Client types.ClientID
+	// Mode selects the reply protocol.
+	Mode Mode
+	// RetryTimeout is the retransmission / escalation timeout.
+	RetryTimeout time.Duration
+	// Broadcast sends every request to all replicas instead of only the
+	// assigned instance's primary. RCC clients broadcast: every replica
+	// forwards to the serving instance, enabling neglect detection.
+	Broadcast bool
+	// Primary is the replica to send to when Broadcast is false.
+	Primary types.ReplicaID
+	// Instance routes the request to a specific instance (RCC assigns
+	// clients to instances; standalone protocols use instance 0).
+	Instance types.InstanceID
+}
+
+func (c *Config) defaults() {
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = time.Second
+	}
+}
+
+// Completion describes one finished transaction.
+type Completion struct {
+	Seq      uint64
+	Latency  time.Duration
+	Result   types.Digest
+	FastPath bool // Zyzzyva: completed with all n responses
+}
+
+// Client is a deterministic client machine. It submits the transactions
+// queued with Submit one after another (pipelined up to Window) and records
+// completions.
+type Client struct {
+	cfg Config
+	env sm.ClientEnv
+
+	queue    []types.Transaction
+	inFlight map[uint64]*pending
+	window   int
+
+	// statsMu guards completions and retries: the only fields external
+	// goroutines may read while the machine runs on its event loop.
+	statsMu     sync.Mutex
+	completions []Completion
+	retries     uint64
+	// onComplete, when set, observes every completion from within the
+	// client's event loop (used by runtimes to bridge to channels).
+	onComplete func(Completion)
+}
+
+type pending struct {
+	tx      types.Transaction
+	sentAt  time.Duration
+	replies map[types.ReplicaID]types.Digest // PBFT replies / result digests
+
+	spec        map[types.ReplicaID]*types.SpecResponse // Zyzzyva
+	certSent    bool
+	localCommit map[types.ReplicaID]struct{}
+	escalated   bool // broadcast after neglect
+}
+
+var _ sm.ClientMachine = (*Client)(nil)
+
+// New creates a client machine.
+func New(cfg Config) *Client {
+	cfg.defaults()
+	return &Client{cfg: cfg, inFlight: make(map[uint64]*pending), window: 1}
+}
+
+// SetWindow allows w transactions in flight concurrently (default 1).
+func (c *Client) SetWindow(w int) {
+	if w >= 1 {
+		c.window = w
+	}
+}
+
+// Submit queues a transaction for submission. Safe to call before Start.
+func (c *Client) Submit(tx types.Transaction) { c.queue = append(c.queue, tx) }
+
+// SetCompletionHook registers a callback invoked (from the client's event
+// loop) on every completion. Set before Start.
+func (c *Client) SetCompletionHook(f func(Completion)) { c.onComplete = f }
+
+// Completions returns a snapshot of the finished transactions in
+// completion order. Safe to call from any goroutine.
+func (c *Client) Completions() []Completion {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return append([]Completion(nil), c.completions...)
+}
+
+// Retries returns how many retransmissions/escalations the client issued.
+// Safe to call from any goroutine.
+func (c *Client) Retries() uint64 {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.retries
+}
+
+// Done reports whether every queued transaction completed.
+func (c *Client) Done() bool { return len(c.queue) == 0 && len(c.inFlight) == 0 }
+
+// Start implements sm.ClientMachine.
+func (c *Client) Start(env sm.ClientEnv) {
+	c.env = env
+	c.pump()
+}
+
+// pump moves queued transactions into flight up to the window.
+func (c *Client) pump() {
+	for len(c.inFlight) < c.window && len(c.queue) > 0 {
+		tx := c.queue[0]
+		c.queue = c.queue[1:]
+		p := &pending{
+			tx:          tx,
+			sentAt:      c.env.Now(),
+			replies:     make(map[types.ReplicaID]types.Digest),
+			spec:        make(map[types.ReplicaID]*types.SpecResponse),
+			localCommit: make(map[types.ReplicaID]struct{}),
+		}
+		c.inFlight[tx.Seq] = p
+		c.send(p)
+	}
+}
+
+func (c *Client) send(p *pending) {
+	req := types.NewClientRequest(c.cfg.Instance, p.tx)
+	if c.cfg.Broadcast || p.escalated {
+		c.env.Broadcast(req)
+	} else {
+		c.env.Send(c.cfg.Primary, req)
+	}
+	c.env.SetTimer(sm.TimerID{Kind: sm.TimerClient, Round: types.Round(p.tx.Seq)}, c.cfg.RetryTimeout)
+}
+
+// Submission is a local event carrying a new transaction into a running
+// client's event loop (it never goes on the wire). Runtimes deliver it via
+// OnMessage, keeping all machine access on the event loop.
+type Submission struct {
+	Tx types.Transaction
+}
+
+// Type implements types.Message.
+func (Submission) Type() types.MsgType { return types.MsgInvalid }
+
+// Instance implements types.Message.
+func (Submission) Instance() types.InstanceID { return 0 }
+
+// WireSize implements types.Message.
+func (Submission) WireSize() int { return 0 }
+
+// AuthPayload implements types.Message.
+func (Submission) AuthPayload(b []byte) []byte { return b }
+
+// OnMessage implements sm.ClientMachine.
+func (c *Client) OnMessage(from types.ReplicaID, m types.Message) {
+	switch msg := m.(type) {
+	case *Submission:
+		c.queue = append(c.queue, msg.Tx)
+		c.pump()
+	case *types.ClientReply:
+		c.onReply(from, msg)
+	case *types.SpecResponse:
+		c.onSpecResponse(from, msg)
+	case *types.LocalCommit:
+		c.onLocalCommit(from, msg)
+	}
+}
+
+func (c *Client) onReply(from types.ReplicaID, m *types.ClientReply) {
+	if c.cfg.Mode == ModeZyzzyva {
+		// Zyzzyva clients complete through speculative responses (all n)
+		// or commit certificates; post-execution replies would bypass the
+		// speculation protocol.
+		return
+	}
+	p, ok := c.inFlight[m.Seq]
+	if !ok || m.Client != c.cfg.Client {
+		return
+	}
+	p.replies[from] = m.Result
+	// f+1 matching results guarantee one comes from a non-faulty replica.
+	count := 0
+	for _, d := range p.replies {
+		if d == m.Result {
+			count++
+		}
+	}
+	if count >= c.env.Params().FaultDetection() {
+		c.complete(p, m.Result, false)
+	}
+}
+
+func (c *Client) onSpecResponse(from types.ReplicaID, m *types.SpecResponse) {
+	// Spec responses do not carry the client sequence number; match by the
+	// oldest in-flight transaction (Zyzzyva clients pipeline per round,
+	// and our batches carry one request per client).
+	target := c.matchPending()
+	if target == nil || m.Client != c.cfg.Client {
+		return
+	}
+	target.spec[from] = m
+	matching := c.matchingSpec(target, m)
+	n := c.env.Params().N
+	if len(matching) >= n {
+		// Fast path: all n replicas agree.
+		c.complete(target, m.Result, true)
+		return
+	}
+	// The slow path is driven by the retry timer (grace period for the
+	// fast path); see OnTimer.
+}
+
+// matchPending returns the oldest in-flight transaction (Zyzzyva matching).
+func (c *Client) matchPending() *pending {
+	var seqs []uint64
+	for s := range c.inFlight {
+		seqs = append(seqs, s)
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return c.inFlight[seqs[0]]
+}
+
+// matchingSpec returns the replicas whose responses match m's (view, round,
+// history, result).
+func (c *Client) matchingSpec(p *pending, m *types.SpecResponse) []types.ReplicaID {
+	var out []types.ReplicaID
+	for r, sr := range p.spec {
+		if sr.View == m.View && sr.Round == m.Round && sr.History == m.History && sr.Result == m.Result {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (c *Client) onLocalCommit(from types.ReplicaID, m *types.LocalCommit) {
+	p := c.matchPending()
+	if p == nil || !p.certSent || m.Client != c.cfg.Client {
+		return
+	}
+	p.localCommit[from] = struct{}{}
+	if len(p.localCommit) >= c.env.Params().NF() {
+		c.complete(p, m.History, false)
+	}
+}
+
+func (c *Client) complete(p *pending, result types.Digest, fast bool) {
+	delete(c.inFlight, p.tx.Seq)
+	c.env.CancelTimer(sm.TimerID{Kind: sm.TimerClient, Round: types.Round(p.tx.Seq)})
+	comp := Completion{
+		Seq:      p.tx.Seq,
+		Latency:  c.env.Now() - p.sentAt,
+		Result:   result,
+		FastPath: fast,
+	}
+	c.statsMu.Lock()
+	c.completions = append(c.completions, comp)
+	c.statsMu.Unlock()
+	if c.onComplete != nil {
+		c.onComplete(comp)
+	}
+	c.pump()
+}
+
+// OnTimer implements sm.ClientMachine.
+func (c *Client) OnTimer(id sm.TimerID) {
+	if id.Kind != sm.TimerClient {
+		return
+	}
+	p, ok := c.inFlight[uint64(id.Round)]
+	if !ok {
+		return
+	}
+	if c.cfg.Mode == ModeZyzzyva {
+		// Slow path: with nf matching responses, assemble a commit
+		// certificate instead of retransmitting.
+		if best := c.bestSpecGroup(p); best != nil && !p.certSent {
+			p.certSent = true
+			signers := c.matchingSpec(p, best)
+			sort.Slice(signers, func(i, j int) bool { return signers[i] < signers[j] })
+			cert := &types.CommitCert{
+				Client: c.cfg.Client, View: best.View, Round: best.Round,
+				History: best.History, Responses: signers,
+			}
+			cert.Inst = c.cfg.Instance
+			c.env.Broadcast(cert)
+			c.statsMu.Lock()
+			c.retries++
+			c.statsMu.Unlock()
+			c.env.SetTimer(sm.TimerID{Kind: sm.TimerClient, Round: types.Round(p.tx.Seq)}, c.cfg.RetryTimeout)
+			return
+		}
+	}
+	// Retransmit, escalating to a broadcast so every replica forwards the
+	// request and starts neglect detection (§III-E).
+	p.escalated = true
+	c.statsMu.Lock()
+	c.retries++
+	c.statsMu.Unlock()
+	c.send(p)
+}
+
+// bestSpecGroup returns a representative response of the largest matching
+// group if it reaches nf, else nil.
+func (c *Client) bestSpecGroup(p *pending) *types.SpecResponse {
+	var best *types.SpecResponse
+	bestN := 0
+	for _, sr := range p.spec {
+		n := len(c.matchingSpec(p, sr))
+		if n > bestN {
+			best, bestN = sr, n
+		}
+	}
+	if bestN >= c.env.Params().NF() {
+		return best
+	}
+	return nil
+}

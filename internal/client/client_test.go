@@ -1,0 +1,243 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+// fakeEnv is a synchronous sm.ClientEnv capturing effects.
+type fakeEnv struct {
+	id       types.ClientID
+	params   quorum.Params
+	sent     []types.Message
+	sentTo   []types.ReplicaID
+	bcast    []types.Message
+	now      time.Duration
+	timers   map[sm.TimerID]time.Duration
+	canceled []sm.TimerID
+}
+
+func newFakeEnv(n int) *fakeEnv {
+	p, _ := quorum.NewParams(n)
+	return &fakeEnv{id: 1, params: p, timers: make(map[sm.TimerID]time.Duration)}
+}
+
+func (f *fakeEnv) Client() types.ClientID { return f.id }
+func (f *fakeEnv) Params() quorum.Params  { return f.params }
+func (f *fakeEnv) Send(to types.ReplicaID, m types.Message) {
+	f.sent = append(f.sent, m)
+	f.sentTo = append(f.sentTo, to)
+}
+func (f *fakeEnv) Broadcast(m types.Message)               { f.bcast = append(f.bcast, m) }
+func (f *fakeEnv) SetTimer(id sm.TimerID, d time.Duration) { f.timers[id] = d }
+func (f *fakeEnv) CancelTimer(id sm.TimerID) {
+	f.canceled = append(f.canceled, id)
+	delete(f.timers, id)
+}
+func (f *fakeEnv) Now() time.Duration  { return f.now }
+func (f *fakeEnv) Logf(string, ...any) {}
+
+func tx(seq uint64) types.Transaction {
+	return types.Transaction{Client: 1, Seq: seq, Op: []byte{byte(seq)}}
+}
+
+func reply(from types.ReplicaID, seq uint64, result types.Digest) *types.ClientReply {
+	return &types.ClientReply{Replica: from, Client: 1, Seq: seq, Result: result}
+}
+
+func TestCompletesAtFPlusOneMatchingReplies(t *testing.T) {
+	env := newFakeEnv(4) // f = 1: needs 2 matching replies
+	c := New(Config{Client: 1, Broadcast: true})
+	c.Submit(tx(1))
+	c.Start(env)
+	if len(env.bcast) != 1 {
+		t.Fatalf("broadcasts %d, want 1", len(env.bcast))
+	}
+	d := types.Hash([]byte("result"))
+	c.OnMessage(0, reply(0, 1, d))
+	if c.Done() {
+		t.Fatal("completed with a single reply")
+	}
+	c.OnMessage(2, reply(2, 1, d))
+	if !c.Done() {
+		t.Fatal("not complete after f+1 matching replies")
+	}
+	if got := c.Completions(); len(got) != 1 || got[0].Result != d {
+		t.Fatalf("completions %+v", got)
+	}
+}
+
+func TestMismatchedRepliesDoNotComplete(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Broadcast: true})
+	c.Submit(tx(1))
+	c.Start(env)
+	c.OnMessage(0, reply(0, 1, types.Hash([]byte("a"))))
+	c.OnMessage(2, reply(2, 1, types.Hash([]byte("b"))))
+	c.OnMessage(3, reply(3, 1, types.Hash([]byte("c"))))
+	if c.Done() {
+		t.Fatal("completed on divergent replies")
+	}
+	// A second matching reply for one of the results completes.
+	c.OnMessage(1, reply(1, 1, types.Hash([]byte("b"))))
+	if !c.Done() {
+		t.Fatal("not complete after a matching pair formed")
+	}
+}
+
+func TestDuplicateRepliesFromSameReplicaDoNotCount(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Broadcast: true})
+	c.Submit(tx(1))
+	c.Start(env)
+	d := types.Hash([]byte("r"))
+	c.OnMessage(0, reply(0, 1, d))
+	c.OnMessage(0, reply(0, 1, d))
+	c.OnMessage(0, reply(0, 1, d))
+	if c.Done() {
+		t.Fatal("one replica's repeated replies completed the request")
+	}
+}
+
+func TestRetryEscalatesToBroadcast(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Primary: 0, RetryTimeout: time.Second})
+	c.Submit(tx(1))
+	c.Start(env)
+	if len(env.sent) != 1 || len(env.bcast) != 0 {
+		t.Fatalf("initial send went to %d targets, bcast %d", len(env.sent), len(env.bcast))
+	}
+	// Fire the retransmission timer: escalation broadcasts (§III-E forced
+	// execution).
+	c.OnTimer(sm.TimerID{Kind: sm.TimerClient, Round: 1})
+	if len(env.bcast) != 1 {
+		t.Fatal("retry did not escalate to broadcast")
+	}
+	if c.Retries() != 1 {
+		t.Fatalf("retries %d, want 1", c.Retries())
+	}
+}
+
+func TestPipelineWindow(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Broadcast: true})
+	c.SetWindow(2)
+	for s := uint64(1); s <= 4; s++ {
+		c.Submit(tx(s))
+	}
+	c.Start(env)
+	if len(env.bcast) != 2 {
+		t.Fatalf("in flight %d, want window 2", len(env.bcast))
+	}
+	d := types.Hash([]byte("r"))
+	c.OnMessage(0, reply(0, 1, d))
+	c.OnMessage(1, reply(1, 1, d))
+	if len(env.bcast) != 3 {
+		t.Fatalf("completion did not pump the next txn: %d broadcasts", len(env.bcast))
+	}
+}
+
+func TestLiveSubmission(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Broadcast: true})
+	c.Start(env)
+	if len(env.bcast) != 0 {
+		t.Fatal("sent without submissions")
+	}
+	c.OnMessage(types.NoReplica, &Submission{Tx: tx(1)})
+	if len(env.bcast) != 1 {
+		t.Fatal("live submission not pumped")
+	}
+}
+
+func TestCompletionHook(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Broadcast: true})
+	var hooked []Completion
+	c.SetCompletionHook(func(comp Completion) { hooked = append(hooked, comp) })
+	c.Submit(tx(1))
+	c.Start(env)
+	d := types.Hash([]byte("r"))
+	c.OnMessage(0, reply(0, 1, d))
+	c.OnMessage(1, reply(1, 1, d))
+	if len(hooked) != 1 || hooked[0].Seq != 1 {
+		t.Fatalf("hook saw %+v", hooked)
+	}
+}
+
+func TestZyzzyvaFastPathNeedsAllN(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Mode: ModeZyzzyva, Broadcast: true})
+	c.Submit(tx(1))
+	c.Start(env)
+	sr := func(from types.ReplicaID) *types.SpecResponse {
+		return &types.SpecResponse{Replica: from, View: 0, Round: 1,
+			History: types.Hash([]byte("h")), Result: types.Hash([]byte("r")), Client: 1, Count: 1}
+	}
+	for r := types.ReplicaID(0); r < 3; r++ {
+		c.OnMessage(r, sr(r))
+	}
+	if c.Done() {
+		t.Fatal("fast path completed with 3 of 4 responses")
+	}
+	c.OnMessage(3, sr(3))
+	if !c.Done() {
+		t.Fatal("fast path did not complete with all n responses")
+	}
+	if !c.Completions()[0].FastPath {
+		t.Fatal("completion not marked fast path")
+	}
+}
+
+func TestZyzzyvaSlowPathCommitCert(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Mode: ModeZyzzyva, Broadcast: true, RetryTimeout: time.Second})
+	c.Submit(tx(1))
+	c.Start(env)
+	sr := func(from types.ReplicaID) *types.SpecResponse {
+		return &types.SpecResponse{Replica: from, View: 0, Round: 1,
+			History: types.Hash([]byte("h")), Result: types.Hash([]byte("r")), Client: 1, Count: 1}
+	}
+	// Only nf = 3 responses arrive (one replica crashed).
+	for r := types.ReplicaID(0); r < 3; r++ {
+		c.OnMessage(r, sr(r))
+	}
+	// Timeout: the client must assemble and broadcast a commit cert.
+	env.bcast = nil
+	c.OnTimer(sm.TimerID{Kind: sm.TimerClient, Round: 1})
+	if len(env.bcast) != 1 {
+		t.Fatalf("no commit certificate broadcast (%d broadcasts)", len(env.bcast))
+	}
+	cert, ok := env.bcast[0].(*types.CommitCert)
+	if !ok || len(cert.Responses) != 3 {
+		t.Fatalf("unexpected broadcast %T %+v", env.bcast[0], env.bcast[0])
+	}
+	// nf LOCAL-COMMIT acks complete the request.
+	for r := types.ReplicaID(0); r < 3; r++ {
+		c.OnMessage(r, &types.LocalCommit{Replica: r, View: 0, Round: 1, History: cert.History, Client: 1})
+	}
+	if !c.Done() {
+		t.Fatal("slow path did not complete after nf local commits")
+	}
+	if c.Completions()[0].FastPath {
+		t.Fatal("slow-path completion marked fast")
+	}
+}
+
+func TestZyzzyvaIgnoresPlainReplies(t *testing.T) {
+	env := newFakeEnv(4)
+	c := New(Config{Client: 1, Mode: ModeZyzzyva, Broadcast: true})
+	c.Submit(tx(1))
+	c.Start(env)
+	d := types.Hash([]byte("r"))
+	c.OnMessage(0, reply(0, 1, d))
+	c.OnMessage(1, reply(1, 1, d))
+	c.OnMessage(2, reply(2, 1, d))
+	if c.Done() {
+		t.Fatal("Zyzzyva client completed on execution replies")
+	}
+}

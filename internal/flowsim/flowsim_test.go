@@ -1,0 +1,280 @@
+package flowsim
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+func eval(p Protocol, n, m, b, fail int, ooo bool) Result {
+	return Evaluate(Setup{
+		Protocol: p, N: n, Concurrent: m, BatchSize: b,
+		Crypto: crypto.SchemeMAC, ClientSig: crypto.SchemeMAC,
+		OutOfOrder: ooo, Failures: fail,
+	})
+}
+
+// TestFig8aOrdering asserts the who-wins structure of Fig. 8 (a): the RCC
+// variants outperform every primary-backup protocol at n >= 16, and
+// HotStuff (no out-of-order processing) trails everything.
+func TestFig8aOrdering(t *testing.T) {
+	for _, n := range []int{16, 32, 64, 91} {
+		f := (n - 1) / 3
+		rccn := eval(PBFT, n, n, 100, 0, true).Throughput
+		rccf1 := eval(PBFT, n, f+1, 100, 0, true).Throughput
+		rcc3 := eval(PBFT, n, 3, 100, 0, true).Throughput
+		pbft := eval(PBFT, n, 1, 100, 0, true).Throughput
+		zyz := eval(Zyzzyva, n, 1, 100, 0, true).Throughput
+		sbft := eval(SBFT, n, 1, 100, 0, true).Throughput
+		hs := eval(HotStuff, n, 1, 100, 0, true).Throughput
+
+		for name, v := range map[string]float64{"pbft": pbft, "zyzzyva": zyz, "sbft": sbft, "hotstuff": hs} {
+			if rccn <= v {
+				t.Fatalf("n=%d: RCCn %.0f <= %s %.0f", n, rccn, name, v)
+			}
+			if rccf1 <= v {
+				t.Fatalf("n=%d: RCCf+1 %.0f <= %s %.0f", n, rccf1, name, v)
+			}
+		}
+		// More concurrency helps: RCC3 <= RCCf+1 and RCC3 <= RCCn (§V-E:
+		// "adding concurrency by adding more instances improves
+		// performance, as RCC3 is outperformed by the other versions").
+		if rcc3 > rccf1 || rcc3 > rccn {
+			t.Fatalf("n=%d: RCC3 %.0f beats RCCf+1 %.0f or RCCn %.0f", n, rcc3, rccf1, rccn)
+		}
+		// HotStuff is uncompetitive against out-of-order protocols.
+		if hs >= pbft {
+			t.Fatalf("n=%d: HotStuff %.0f >= PBFT %.0f", n, hs, pbft)
+		}
+	}
+}
+
+// TestZyzzyvaFastestPrimaryBackup asserts §V-E: Zyzzyva is the fastest
+// primary-backup protocol when no failures happen, and collapses under a
+// single failure while the others are barely affected.
+func TestZyzzyvaFastestPrimaryBackup(t *testing.T) {
+	for _, n := range []int{16, 32, 64, 91} {
+		zyz := eval(Zyzzyva, n, 1, 100, 0, true).Throughput
+		pbft := eval(PBFT, n, 1, 100, 0, true).Throughput
+		if zyz < pbft {
+			t.Fatalf("n=%d: Zyzzyva %.0f < PBFT %.0f without failures", n, zyz, pbft)
+		}
+	}
+	healthy := eval(Zyzzyva, 32, 1, 100, 0, true).Throughput
+	failed := eval(Zyzzyva, 32, 1, 100, 1, true).Throughput
+	if failed > healthy/10 {
+		t.Fatalf("Zyzzyva under failure %.0f, want collapse below %.0f", failed, healthy/10)
+	}
+	pbftHealthy := eval(PBFT, 32, 1, 100, 0, true).Throughput
+	pbftFailed := eval(PBFT, 32, 1, 100, 1, true).Throughput
+	if pbftFailed < pbftHealthy*0.9 {
+		t.Fatalf("PBFT under failure %.0f, want within 10%% of %.0f", pbftFailed, pbftHealthy)
+	}
+}
+
+// TestSummaryRatios asserts the §V-E summary factors within generous bands:
+// single-failure RCC beats SBFT by ~2.77×, PBFT by ~1.53×, HotStuff by
+// ~38×, and Zyzzyva by ~82×.
+func TestSummaryRatios(t *testing.T) {
+	best := func(p Protocol, m func(n int) int, fail int) float64 {
+		max := 0.0
+		for _, n := range []int{16, 32, 64, 91} {
+			if v := eval(p, n, m(n), 100, fail, true).Throughput; v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	one := func(int) int { return 1 }
+	all := func(n int) int { return n }
+
+	rcc := best(PBFT, all, 1)
+	checks := []struct {
+		name   string
+		other  float64
+		lo, hi float64
+	}{
+		{"sbft", best(SBFT, one, 1), 1.8, 4.5},       // paper: 2.77
+		{"pbft", best(PBFT, one, 1), 1.2, 2.5},       // paper: 1.53
+		{"hotstuff", best(HotStuff, one, 1), 20, 60}, // paper: 38
+		{"zyzzyva", best(Zyzzyva, one, 1), 40, 130},  // paper: 82
+	}
+	for _, c := range checks {
+		ratio := rcc / c.other
+		if ratio < c.lo || ratio > c.hi {
+			t.Errorf("single-failure RCC/%s = %.2f, want within [%.1f, %.1f]", c.name, ratio, c.lo, c.hi)
+		}
+	}
+}
+
+// TestFig7CryptoRatios asserts the Fig. 7 (right) structure: digital
+// signatures cost dramatically more than MACs, which cost more than no
+// authentication (paper: −86% and −33%).
+func TestFig7CryptoRatios(t *testing.T) {
+	run := func(sch, client crypto.Scheme) float64 {
+		return Evaluate(Setup{
+			Protocol: PBFT, N: 16, Concurrent: 1, BatchSize: 100,
+			Crypto: sch, ClientSig: client, OutOfOrder: true,
+		}).Throughput
+	}
+	none := run(crypto.SchemeNone, crypto.SchemeNone)
+	mac := run(crypto.SchemeMAC, crypto.SchemeDS)
+	ds := run(crypto.SchemeDS, crypto.SchemeDS)
+	if !(none > mac && mac > ds) {
+		t.Fatalf("crypto ordering broken: none=%.0f mac=%.0f ds=%.0f", none, mac, ds)
+	}
+	macDrop := 1 - mac/none
+	dsDrop := 1 - ds/none
+	if macDrop < 0.2 || macDrop > 0.5 {
+		t.Errorf("MAC reduction %.0f%%, want 20–50%% (paper: 33%%)", macDrop*100)
+	}
+	if dsDrop < 0.55 || dsDrop > 0.95 {
+		t.Errorf("DS reduction %.0f%%, want 55–95%% (paper: 86%%)", dsDrop*100)
+	}
+}
+
+// TestFig8gNoOutOfOrder asserts Fig. 8 (g): with out-of-order processing
+// disabled, HotStuff's two-phase event-based design beats the three-phase
+// primary-backup protocols, while the RCC variants keep improving with n
+// because more replicas mean more concurrent instances.
+func TestFig8gNoOutOfOrder(t *testing.T) {
+	for _, n := range []int{16, 32, 64} {
+		hs := eval(HotStuff, n, 1, 100, 0, false).Throughput
+		pbft := eval(PBFT, n, 1, 100, 0, false).Throughput
+		zyz := eval(Zyzzyva, n, 1, 100, 0, false).Throughput
+		if hs <= pbft || hs <= zyz {
+			t.Fatalf("n=%d: HotStuff %.0f not ahead of PBFT %.0f / Zyzzyva %.0f without ooo", n, hs, pbft, zyz)
+		}
+		rccn := eval(PBFT, n, n, 100, 0, false).Throughput
+		if rccn <= hs {
+			t.Fatalf("n=%d: non-ooo RCC %.0f <= HotStuff %.0f", n, rccn, hs)
+		}
+	}
+	// RCC benefits from more replicas in this regime (§V-E).
+	small := eval(PBFT, 4, 4, 100, 0, false).Throughput
+	large := eval(PBFT, 32, 32, 100, 0, false).Throughput
+	if large <= small {
+		t.Fatalf("non-ooo RCC did not improve with n: %.0f -> %.0f", small, large)
+	}
+}
+
+// TestFig8eBatching asserts Fig. 8 (e): larger batches increase throughput
+// for every protocol, with diminishing returns past 100 txn/batch.
+func TestFig8eBatching(t *testing.T) {
+	for _, p := range []Protocol{PBFT, SBFT} {
+		prev := 0.0
+		for _, b := range []int{10, 50, 100, 200, 400} {
+			v := eval(p, 32, 1, b, 1, true).Throughput
+			if v < prev {
+				t.Fatalf("%s: batch %d throughput %.0f below smaller batch %.0f", p, b, v, prev)
+			}
+			prev = v
+		}
+		gain100 := eval(p, 32, 1, 100, 1, true).Throughput / eval(p, 32, 1, 50, 1, true).Throughput
+		gain400 := eval(p, 32, 1, 400, 1, true).Throughput / eval(p, 32, 1, 200, 1, true).Throughput
+		if gain400 > gain100 {
+			t.Fatalf("%s: batching gains not diminishing (%0.2f then %.2f)", p, gain100, gain400)
+		}
+	}
+	// RCC's peak at 400 txn/batch approaches the paper's 365 ktxn/s.
+	peak := eval(PBFT, 32, 32, 400, 1, true).Throughput
+	if peak < 280_000 || peak > 430_000 {
+		t.Errorf("RCC peak at 400 txn/batch = %.0f, want ~348k (paper: 365k)", peak)
+	}
+}
+
+// TestFig9Paradigm asserts Fig. 9: all RCC variants reach high throughput;
+// RCC-S attains equal-or-higher throughput than RCC-Z (client interplay,
+// §V-F), and both beat RCC-P at large n (linear vs quadratic phases).
+func TestFig9Paradigm(t *testing.T) {
+	for _, n := range []int{4, 16, 32, 64, 91} {
+		p := eval(PBFT, n, n, 100, 0, true).Throughput
+		z := eval(Zyzzyva, n, n, 100, 0, true).Throughput
+		s := eval(SBFT, n, n, 100, 0, true).Throughput
+		if s < z {
+			t.Fatalf("n=%d: RCC-S %.0f below RCC-Z %.0f", n, s, z)
+		}
+		if n >= 64 && (s <= p || z <= p) {
+			t.Fatalf("n=%d: linear-phase variants (S=%.0f, Z=%.0f) not ahead of RCC-P %.0f", n, s, z, p)
+		}
+	}
+}
+
+// TestSingleReplicaRates checks the Fig. 7 (left) anchors: reply-only well
+// above full processing, in the paper's 551k / ~217k ballpark.
+func TestSingleReplicaRates(t *testing.T) {
+	env := DefaultEnv()
+	reply := SingleReplicaReply(env)
+	full := SingleReplicaFull(env, 100)
+	if reply < 450_000 || reply > 650_000 {
+		t.Errorf("reply-only rate %.0f, want ~551k", reply)
+	}
+	if full < 150_000 || full > 280_000 {
+		t.Errorf("full-processing rate %.0f, want ~217k", full)
+	}
+	if reply <= full {
+		t.Fatal("reply-only must exceed full processing")
+	}
+}
+
+// TestLatencyGrowsWithBatchSize matches Fig. 8 (f): batch formation and
+// service time push latency up with batch size.
+func TestLatencyGrowsWithBatchSize(t *testing.T) {
+	prev := eval(PBFT, 32, 32, 10, 1, true).Latency
+	for _, b := range []int{50, 100, 200, 400} {
+		l := eval(PBFT, 32, 32, b, 1, true).Latency
+		if l < prev {
+			t.Fatalf("latency fell from %v to %v at batch %d", prev, l, b)
+		}
+		prev = l
+	}
+}
+
+// TestBoundsAreNamed ensures every evaluation reports its binding resource.
+func TestBoundsAreNamed(t *testing.T) {
+	for _, p := range []Protocol{PBFT, Zyzzyva, SBFT, HotStuff} {
+		for _, m := range []int{1, 16} {
+			r := eval(p, 16, m, 100, 0, true)
+			if r.Bound == "" || r.Throughput <= 0 {
+				t.Fatalf("%s m=%d: empty bound or zero throughput", p, m)
+			}
+		}
+	}
+}
+
+func TestSetupDerivedParams(t *testing.T) {
+	s := Setup{N: 91}
+	if s.F() != 30 || s.NF() != 61 {
+		t.Fatalf("f=%d nf=%d, want 30/61", s.F(), s.NF())
+	}
+	if got := (Setup{Protocol: PBFT, N: 16, Concurrent: 16, BatchSize: 100}).String(); got == "" {
+		t.Fatal("empty setup string")
+	}
+	if got := (Setup{Protocol: SBFT, N: 4}).String(); got == "" {
+		t.Fatal("empty standalone string")
+	}
+}
+
+func TestEvaluateClampsDegenerateInputs(t *testing.T) {
+	// Zero batch and oversized m must not panic or divide by zero.
+	r := Evaluate(Setup{Protocol: PBFT, N: 4, Concurrent: 99, BatchSize: 0,
+		Crypto: crypto.SchemeNone, ClientSig: crypto.SchemeNone, OutOfOrder: true})
+	if r.Throughput <= 0 {
+		t.Fatalf("degenerate setup produced %v", r)
+	}
+}
+
+func TestExplicitEnvironmentIshonored(t *testing.T) {
+	env := DefaultEnv()
+	env.BandwidthBps = 1e8 // 10× slower link
+	slow := Evaluate(Setup{Protocol: PBFT, N: 16, BatchSize: 100,
+		Crypto: crypto.SchemeNone, ClientSig: crypto.SchemeNone, OutOfOrder: true, Env: env})
+	fast := Evaluate(Setup{Protocol: PBFT, N: 16, BatchSize: 100,
+		Crypto: crypto.SchemeNone, ClientSig: crypto.SchemeNone, OutOfOrder: true})
+	if slow.Throughput >= fast.Throughput {
+		t.Fatalf("slower link did not reduce throughput: %.0f vs %.0f", slow.Throughput, fast.Throughput)
+	}
+	if slow.Bound != "bandwidth" {
+		t.Fatalf("10x slower link bound = %s, want bandwidth", slow.Bound)
+	}
+}

@@ -1,0 +1,169 @@
+package hotstuff
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+func cluster(t *testing.T, n int, cfg Config, netcfg simnet.Config) (*simnet.Network, []*Instance) {
+	t.Helper()
+	netcfg.N = n
+	if netcfg.Latency == 0 {
+		netcfg.Latency = time.Millisecond
+	}
+	net, err := simnet.New(netcfg)
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	insts := make([]*Instance, n)
+	for i := 0; i < n; i++ {
+		insts[i] = New(cfg)
+		net.SetMachine(types.ReplicaID(i), insts[i])
+	}
+	return net, insts
+}
+
+func inject(net *simnet.Network, n int, at time.Duration, tx types.Transaction) {
+	req := types.NewClientRequest(0, tx)
+	for i := 0; i < n; i++ {
+		node := net.Node(types.ReplicaID(i))
+		net.Schedule(at, func() { node.Machine().OnMessage(sm.FromClient(tx.Client), req) })
+	}
+}
+
+func realTxnCount(ds []sm.Decision) int {
+	n := 0
+	for _, d := range ds {
+		if d.Batch == nil {
+			continue
+		}
+		for _, tx := range d.Batch.Txns {
+			if !tx.IsNoOp() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestThreeChainCommit(t *testing.T) {
+	n := 4
+	net, _ := cluster(t, n, Config{BatchSize: 1, ViewTimeout: 200 * time.Millisecond}, simnet.Config{})
+	net.Start()
+	for s := uint64(1); s <= 5; s++ {
+		inject(net, n, time.Duration(s)*10*time.Millisecond, types.Transaction{Client: 1, Seq: s, Op: []byte{byte(s)}})
+	}
+	net.Run(5 * time.Second)
+
+	for i := 0; i < n; i++ {
+		if got := realTxnCount(net.Node(types.ReplicaID(i)).Decisions()); got != 5 {
+			t.Fatalf("replica %d committed %d real txns, want 5", i, got)
+		}
+	}
+}
+
+func TestCommitOrderIdenticalAcrossReplicas(t *testing.T) {
+	n := 4
+	net, _ := cluster(t, n, Config{BatchSize: 1, ViewTimeout: 200 * time.Millisecond},
+		simnet.Config{Jitter: 2 * time.Millisecond, Seed: 11})
+	net.Start()
+	for s := uint64(1); s <= 8; s++ {
+		inject(net, n, time.Duration(s)*8*time.Millisecond,
+			types.Transaction{Client: types.ClientID(1 + s%2), Seq: (s + 1) / 2, Op: []byte(fmt.Sprintf("%d", s))})
+	}
+	net.Run(6 * time.Second)
+	ref := net.Node(0).Decisions()
+	if len(ref) == 0 {
+		t.Fatal("no commits")
+	}
+	for i := 1; i < n; i++ {
+		ds := net.Node(types.ReplicaID(i)).Decisions()
+		limit := len(ref)
+		if len(ds) < limit {
+			limit = len(ds)
+		}
+		for j := 0; j < limit; j++ {
+			if ds[j].Digest != ref[j].Digest {
+				t.Fatalf("replica %d commit %d diverges", i, j)
+			}
+		}
+	}
+}
+
+func TestLeaderRotatesEveryView(t *testing.T) {
+	net, insts := cluster(t, 4, Config{BatchSize: 1, ViewTimeout: 150 * time.Millisecond}, simnet.Config{})
+	net.Start()
+	inject(net, 4, 0, types.Transaction{Client: 1, Seq: 1, Op: []byte("x")})
+	net.Run(3 * time.Second)
+	// Views must have advanced well beyond 1 (the chain flows leader to
+	// leader), and the leader function must rotate.
+	if insts[0].View() < 3 {
+		t.Fatalf("view %d, want >= 3 (chained views)", insts[0].View())
+	}
+	if insts[0].LeaderOf(1) == insts[0].LeaderOf(2) {
+		t.Fatal("leader did not rotate between views")
+	}
+}
+
+func TestProgressDespiteSilentLeader(t *testing.T) {
+	// Crash the leader of view 2 (replica 2): the pacemaker must advance
+	// past its view via NEW-VIEW messages and commit on later leaders.
+	n := 4
+	net, _ := cluster(t, n, Config{BatchSize: 1, ViewTimeout: 100 * time.Millisecond}, simnet.Config{})
+	net.Start()
+	net.Crash(2)
+	for s := uint64(1); s <= 4; s++ {
+		inject(net, n, time.Duration(s)*10*time.Millisecond, types.Transaction{Client: 1, Seq: s, Op: []byte{byte(s)}})
+	}
+	net.Run(8 * time.Second)
+	for _, i := range []int{0, 1, 3} {
+		if got := realTxnCount(net.Node(types.ReplicaID(i)).Decisions()); got != 4 {
+			t.Fatalf("replica %d committed %d real txns with silent leader, want 4", i, got)
+		}
+	}
+}
+
+func TestNoOutOfOrderProcessing(t *testing.T) {
+	// HotStuff proposes one block per view: flooding the leader with
+	// requests must not create parallel in-flight blocks; commits arrive
+	// view by view. We verify by counting proposals broadcast per view.
+	n := 4
+	net, _ := cluster(t, n, Config{BatchSize: 1, ViewTimeout: 300 * time.Millisecond}, simnet.Config{})
+	net.Start()
+	for s := uint64(1); s <= 6; s++ {
+		inject(net, n, 0, types.Transaction{Client: 1, Seq: s, Op: []byte{byte(s)}})
+	}
+	net.Run(6 * time.Second)
+	proposals := net.MessagesByType()[types.MsgHSProposal]
+	// Each proposal is broadcast to n−1 others (self-delivery free), so
+	// proposals/(n−1) is the number of blocks; 6 requests with batch 1
+	// need >= 6 blocks, but blocks are sequential — at most one per view.
+	blocks := int(proposals) / (n - 1)
+	if blocks < 6 {
+		t.Fatalf("only %d blocks proposed, want >= 6", blocks)
+	}
+	// All six transactions must commit on every live replica.
+	for i := 0; i < n; i++ {
+		if got := realTxnCount(net.Node(types.ReplicaID(i)).Decisions()); got != 6 {
+			t.Fatalf("replica %d committed %d, want 6", i, got)
+		}
+	}
+}
+
+func TestBlockDigestBindsContent(t *testing.T) {
+	b1 := &block{parent: types.Hash([]byte("p")), view: 3, batch: &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 1, Op: []byte("a")}}}}
+	b2 := &block{parent: types.Hash([]byte("p")), view: 3, batch: &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 1, Op: []byte("b")}}}}
+	if blockDigest(b1) == blockDigest(b2) {
+		t.Fatal("digest ignores batch content")
+	}
+	b3 := *b1
+	b3.view = 4
+	if blockDigest(b1) == blockDigest(&b3) {
+		t.Fatal("digest ignores view")
+	}
+}

@@ -1,0 +1,132 @@
+// Package model implements the analytical throughput bounds of the RCC
+// paper (§I-A and §II, plotted in Fig. 1): the maximum replication
+// throughput of primary-backup consensus (Tmax), of PBFT-style state
+// exchange (TPBFT), and their concurrent counterparts (Tcmax, TcPBFT).
+//
+// The bounds consider bandwidth only: a system with n replicas (f faulty,
+// nf = n − f non-faulty), primary outgoing bandwidth B (bits/s), proposal
+// size st bytes, and state-exchange message size sm bytes. They therefore
+// give best-case upper limits — real deployments are additionally limited
+// by CPU and memory (§V-B), which internal/flowsim models.
+package model
+
+// Params are the inputs of the analytical model.
+type Params struct {
+	N  int     // replicas
+	F  int     // faulty replicas (nf = N − F)
+	B  float64 // outgoing bandwidth per replica, bits per second
+	St float64 // proposal (transaction set) size, bytes
+	Sm float64 // state-exchange message size, bytes
+	// TxnPerProposal is how many client transactions one proposal groups;
+	// throughputs are reported in transactions per second.
+	TxnPerProposal int
+}
+
+// NF returns nf = n − f.
+func (p Params) NF() int { return p.N - p.F }
+
+// proposalsPerSecond converts a per-proposal byte budget into proposals/s.
+func (p Params) proposalsPerSecond(bytesPerProposal float64) float64 {
+	if bytesPerProposal <= 0 {
+		return 0
+	}
+	return p.B / (8 * bytesPerProposal)
+}
+
+// txns converts proposals/s into transactions/s.
+func (p Params) txns(proposals float64) float64 {
+	t := p.TxnPerProposal
+	if t < 1 {
+		t = 1
+	}
+	return proposals * float64(t)
+}
+
+// Tmax is the maximum throughput of any primary-backup consensus protocol:
+// the primary must send the proposal to the n−1 other replicas, so
+// Tmax = B / ((n−1)·st).
+func Tmax(p Params) float64 {
+	return p.txns(p.proposalsPerSecond(float64(p.N-1) * p.St))
+}
+
+// TPBFT is the maximum throughput of PBFT: on top of the proposal, every
+// round exchanges two all-to-all phases (PREPARE and COMMIT), costing the
+// primary three extra message sends/receives per replica:
+// TPBFT = B / ((n−1)·(st + 3·sm)).
+func TPBFT(p Params) float64 {
+	return p.txns(p.proposalsPerSecond(float64(p.N-1) * (p.St + 3*p.Sm)))
+}
+
+// Tcmax is the maximum concurrent throughput (§II): all nf non-faulty
+// replicas propose concurrently; each primary sends its own proposal to
+// n−1 replicas and receives nf−1 proposals from the other primaries:
+// Tcmax = nf·B / ((n−1)·st + (nf−1)·st).
+func Tcmax(p Params) float64 {
+	nf := float64(p.NF())
+	per := float64(p.N-1)*p.St + (nf-1)*p.St
+	return p.txns(nf * p.proposalsPerSecond(per))
+}
+
+// TcPBFT is the concurrent throughput with PBFT-style state exchange:
+// TcPBFT = nf·B / ((n−1)·(st+3·sm) + (nf−1)·(st + 4·(n−1)·sm)).
+func TcPBFT(p Params) float64 {
+	nf := float64(p.NF())
+	n1 := float64(p.N - 1)
+	per := n1*(p.St+3*p.Sm) + (nf-1)*(p.St+4*n1*p.Sm)
+	return p.txns(nf * p.proposalsPerSecond(per))
+}
+
+// Point is one sample of the Fig. 1 series.
+type Point struct {
+	N      int
+	Tmax   float64
+	TPBFT  float64
+	Tcmax  float64
+	TcPBFT float64
+}
+
+// Fig1Config matches the setup of Fig. 1: B = 1 Gbit/s, n = 3f+1,
+// sm = 1 KiB, individual transactions of 512 B.
+type Fig1Config struct {
+	BandwidthBps   float64
+	TxnPerProposal int // 20 on the left plot, 400 on the right
+	TxnBytes       float64
+	SmBytes        float64
+}
+
+// DefaultFig1 returns the paper's Fig. 1 configuration for the given
+// proposal grouping (20 or 400 txn/proposal).
+func DefaultFig1(txnPerProposal int) Fig1Config {
+	return Fig1Config{
+		BandwidthBps:   1e9,
+		TxnPerProposal: txnPerProposal,
+		TxnBytes:       512,
+		SmBytes:        1024,
+	}
+}
+
+// Fig1Series computes the four curves of Fig. 1 for n in [4, maxN],
+// restricted to n = 3f+1 configurations (the paper's x-axis sweeps n,
+// deriving f = ⌊(n−1)/3⌋).
+func Fig1Series(cfg Fig1Config, maxN int) []Point {
+	var out []Point
+	for n := 4; n <= maxN; n++ {
+		f := (n - 1) / 3
+		p := Params{
+			N:              n,
+			F:              f,
+			B:              cfg.BandwidthBps,
+			St:             cfg.TxnBytes * float64(cfg.TxnPerProposal),
+			Sm:             cfg.SmBytes,
+			TxnPerProposal: cfg.TxnPerProposal,
+		}
+		out = append(out, Point{
+			N:      n,
+			Tmax:   Tmax(p),
+			TPBFT:  TPBFT(p),
+			Tcmax:  Tcmax(p),
+			TcPBFT: TcPBFT(p),
+		})
+	}
+	return out
+}

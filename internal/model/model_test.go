@@ -1,0 +1,116 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params(n, txn int) Params {
+	f := (n - 1) / 3
+	return Params{
+		N: n, F: f, B: 1e9,
+		St: 512 * float64(txn), Sm: 1024,
+		TxnPerProposal: txn,
+	}
+}
+
+func TestConcurrentBeatsPrimaryBackup(t *testing.T) {
+	// §II's core claim: Tcmax > Tmax and TcPBFT > TPBFT for every n >= 4.
+	for n := 4; n <= 100; n++ {
+		p := params(n, 20)
+		if Tcmax(p) <= Tmax(p) {
+			t.Fatalf("n=%d: Tcmax %.0f <= Tmax %.0f", n, Tcmax(p), Tmax(p))
+		}
+		if TcPBFT(p) <= TPBFT(p) {
+			t.Fatalf("n=%d: TcPBFT %.0f <= TPBFT %.0f", n, TcPBFT(p), TPBFT(p))
+		}
+	}
+}
+
+func TestStateExchangeOnlyAddsOverhead(t *testing.T) {
+	for n := 4; n <= 100; n++ {
+		for _, txn := range []int{20, 400} {
+			p := params(n, txn)
+			if TPBFT(p) > Tmax(p) {
+				t.Fatalf("n=%d txn=%d: TPBFT above Tmax", n, txn)
+			}
+			if TcPBFT(p) > Tcmax(p) {
+				t.Fatalf("n=%d txn=%d: TcPBFT above Tcmax", n, txn)
+			}
+		}
+	}
+}
+
+func TestBatchingClosesThePBFTGap(t *testing.T) {
+	// §I-A: with st >> sm (large batches), Tmax ≈ TPBFT. The 400-txn plot
+	// must show a much smaller relative gap than the 20-txn plot.
+	p20, p400 := params(16, 20), params(16, 400)
+	gap20 := 1 - TPBFT(p20)/Tmax(p20)
+	gap400 := 1 - TPBFT(p400)/Tmax(p400)
+	if gap400 >= gap20 {
+		t.Fatalf("batching did not shrink the PBFT gap: %.3f -> %.3f", gap20, gap400)
+	}
+	if gap400 > 0.05 {
+		t.Fatalf("400-txn gap %.3f, want < 5%% (st >> sm)", gap400)
+	}
+}
+
+func TestThroughputDecreasesWithN(t *testing.T) {
+	prev := Point{}
+	for i, pt := range Fig1Series(DefaultFig1(20), 100) {
+		if i > 0 {
+			if pt.Tmax > prev.Tmax || pt.TPBFT > prev.TPBFT {
+				t.Fatalf("n=%d: primary-backup throughput increased with n", pt.N)
+			}
+		}
+		prev = pt
+	}
+}
+
+func TestFig1KnownValues(t *testing.T) {
+	// Hand-computed anchor: n=4, 20 txn/proposal, st=10240 B, sm=1024 B.
+	p := params(4, 20)
+	wantTmax := 1e9 / (8 * 3 * 10240) * 20
+	if got := Tmax(p); math.Abs(got-wantTmax) > 1 {
+		t.Fatalf("Tmax = %.1f, want %.1f", got, wantTmax)
+	}
+	wantTPBFT := 1e9 / (8 * 3 * (10240 + 3*1024)) * 20
+	if got := TPBFT(p); math.Abs(got-wantTPBFT) > 1 {
+		t.Fatalf("TPBFT = %.1f, want %.1f", got, wantTPBFT)
+	}
+	// nf=3: Tcmax = 3B / (3·st + 2·st)
+	wantTcmax := 3 * 1e9 / (8 * (3*10240 + 2*10240)) * 20
+	if got := Tcmax(p); math.Abs(got-wantTcmax) > 1 {
+		t.Fatalf("Tcmax = %.1f, want %.1f", got, wantTcmax)
+	}
+}
+
+func TestFig1SeriesShape(t *testing.T) {
+	series := Fig1Series(DefaultFig1(400), 100)
+	if len(series) != 97 {
+		t.Fatalf("series length %d, want 97 (n=4..100)", len(series))
+	}
+	// The concurrent curves must dominate everywhere and scale much more
+	// gently: at n=91 the ratio Tcmax/Tmax should be roughly nf (§II).
+	last := series[len(series)-1]
+	nf := float64(last.N - (last.N-1)/3)
+	ratio := last.Tcmax / last.Tmax
+	if ratio < nf/2 || ratio > nf {
+		t.Fatalf("n=%d: Tcmax/Tmax = %.1f, want within [nf/2, nf] = [%.1f, %.1f]", last.N, ratio, nf/2, nf)
+	}
+}
+
+func TestMonotonicInBandwidth(t *testing.T) {
+	f := func(bw uint32) bool {
+		b := float64(bw%1000+1) * 1e6
+		p := params(16, 100)
+		p.B = b
+		q := p
+		q.B = 2 * b
+		return Tmax(q) > Tmax(p) && TcPBFT(q) > TcPBFT(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

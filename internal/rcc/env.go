@@ -1,0 +1,65 @@
+package rcc
+
+import (
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+// instEnv is the environment handed to each BCA instance: it passes network
+// effects through to the outer environment but intercepts Deliver (RCC
+// collects decisions for round ordering) and Suspect (RCC runs the Fig. 4
+// recovery instead of a view change).
+type instEnv struct {
+	outer sm.Env
+	mgr   *Replica
+	inst  types.InstanceID
+}
+
+var _ sm.Env = (*instEnv)(nil)
+
+func (e *instEnv) ID() types.ReplicaID                          { return e.outer.ID() }
+func (e *instEnv) Params() quorum.Params                        { return e.outer.Params() }
+func (e *instEnv) Send(to types.ReplicaID, m types.Message)     { e.outer.Send(to, m) }
+func (e *instEnv) Broadcast(m types.Message)                    { e.outer.Broadcast(m) }
+func (e *instEnv) SendClient(c types.ClientID, m types.Message) { e.outer.SendClient(c, m) }
+func (e *instEnv) SetTimer(id sm.TimerID, d time.Duration)      { e.outer.SetTimer(id, d) }
+func (e *instEnv) CancelTimer(id sm.TimerID)                    { e.outer.CancelTimer(id) }
+func (e *instEnv) Now() time.Duration                           { return e.outer.Now() }
+func (e *instEnv) Logf(format string, args ...any)              { e.outer.Logf(format, args...) }
+
+func (e *instEnv) Deliver(d sm.Decision) { e.mgr.onDecision(e.inst, d) }
+
+func (e *instEnv) Suspect(inst types.InstanceID, round types.Round) {
+	e.mgr.suspectInstance(e.inst, round)
+}
+
+// coordEnv is the environment of a coordinating consensus instance: its
+// decisions (stop operations, reassignments) go to the manager, and its
+// internal view changes never escalate.
+type coordEnv struct {
+	outer sm.Env
+	mgr   *Replica
+	inst  types.InstanceID // the BCA instance this coordinator recovers
+}
+
+var _ sm.Env = (*coordEnv)(nil)
+
+func (e *coordEnv) ID() types.ReplicaID                          { return e.outer.ID() }
+func (e *coordEnv) Params() quorum.Params                        { return e.outer.Params() }
+func (e *coordEnv) Send(to types.ReplicaID, m types.Message)     { e.outer.Send(to, m) }
+func (e *coordEnv) Broadcast(m types.Message)                    { e.outer.Broadcast(m) }
+func (e *coordEnv) SendClient(c types.ClientID, m types.Message) { e.outer.SendClient(c, m) }
+func (e *coordEnv) SetTimer(id sm.TimerID, d time.Duration)      { e.outer.SetTimer(id, d) }
+func (e *coordEnv) CancelTimer(id sm.TimerID)                    { e.outer.CancelTimer(id) }
+func (e *coordEnv) Now() time.Duration                           { return e.outer.Now() }
+func (e *coordEnv) Logf(format string, args ...any)              { e.outer.Logf(format, args...) }
+
+func (e *coordEnv) Deliver(d sm.Decision) { e.mgr.onCoordDecision(e.inst, d) }
+
+func (e *coordEnv) Suspect(types.InstanceID, types.Round) {
+	// The coordinator runs standalone PBFT (view changes enabled), so it
+	// never reports suspicions; nothing to do.
+}

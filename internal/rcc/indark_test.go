@@ -1,0 +1,76 @@
+package rcc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// TestGeneralizedInTheDarkAttack reproduces Example III.4 at n = 7
+// (f = 2): two malicious primaries partition the non-faulty replicas into
+// A1, A2, and B so that only B accepts both instances' proposals. The
+// dynamic per-need checkpoints (§III-D) must let every honest replica learn
+// the missing proposals and execute the round.
+func TestGeneralizedInTheDarkAttack(t *testing.T) {
+	n := 7
+	// Honest replicas: 0, 3, 4, 5, 6. Partition: A1 = {3, 4}, A2 = {5, 6},
+	// B = {0}. Primary 1 proposes only to A1 ∪ B; primary 2 only to
+	// A2 ∪ B. (The malicious primaries never trigger a confirmed failure:
+	// each denies only f = 2 honest replicas.)
+	a1 := map[types.ReplicaID]bool{3: true, 4: true, 0: true}
+	a2 := map[types.ReplicaID]bool{5: true, 6: true, 0: true}
+	netcfg := simnet.Config{
+		Latency: time.Millisecond,
+		Drop: func(from, to types.ReplicaID, m types.Message) bool {
+			if m.Type() != types.MsgPrePrepare {
+				return false
+			}
+			if from == 1 && m.Instance() == 1 {
+				return !a1[to] && to != 1 && to != 2
+			}
+			if from == 2 && m.Instance() == 2 {
+				return !a2[to] && to != 1 && to != 2
+			}
+			return false
+		},
+	}
+	net, reps := cluster(t, n, Config{
+		BatchSize:       1,
+		Window:          4,
+		ProgressTimeout: 150 * time.Millisecond,
+		RecoveryTimeout: 450 * time.Millisecond,
+	}, netcfg)
+
+	// Demand for every instance across several rounds.
+	for s := uint64(1); s <= 3; s++ {
+		for c := types.ClientID(1); c <= 7; c++ {
+			injectAt(net, n, time.Duration(s)*20*time.Millisecond, mkTx(c, s))
+		}
+	}
+	net.Run(15 * time.Second)
+
+	honest := []types.ReplicaID{0, 3, 4, 5, 6}
+	for _, id := range honest {
+		if got := reps[id].RoundsExecuted(); got < 1 {
+			t.Fatalf("replica %d executed %d rounds under the in-the-dark attack", id, got)
+		}
+		// Each replica must have learned BOTH attacked instances'
+		// transactions (via checkpoint or recovery) for the rounds it
+		// executed.
+		seen1, seen2 := 0, 0
+		for _, tx := range realTxns(net.Node(id).Decisions()) {
+			switch tx.Client {
+			case 1:
+				seen1++
+			case 2:
+				seen2++
+			}
+		}
+		if seen1 == 0 && seen2 == 0 {
+			t.Fatalf("replica %d never learned any attacked-instance transaction", id)
+		}
+	}
+	sameOrder(t, net, honest)
+}

@@ -1,0 +1,157 @@
+package rcc
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+// TestPermutationBijection property-tests Lemma IV.2: f_S is a bijection
+// from {0, ..., k!−1} to the permutations of S. For small k we verify
+// exhaustively that every index yields a distinct valid permutation.
+func TestPermutationBijection(t *testing.T) {
+	fact := func(n int) int {
+		f := 1
+		for i := 2; i <= n; i++ {
+			f *= i
+		}
+		return f
+	}
+	for k := 1; k <= 6; k++ {
+		seen := make(map[string]bool)
+		for h := 0; h < fact(k); h++ {
+			perm := PermutationIndices(k, big.NewInt(int64(h)))
+			if len(perm) != k {
+				t.Fatalf("k=%d h=%d: length %d", k, h, len(perm))
+			}
+			// Valid permutation: every position exactly once.
+			used := make([]bool, k)
+			key := make([]byte, k)
+			for _, p := range perm {
+				if p < 0 || p >= k || used[p] {
+					t.Fatalf("k=%d h=%d: invalid permutation %v", k, h, perm)
+				}
+				used[p] = true
+			}
+			for i, p := range perm {
+				key[i] = byte(p)
+			}
+			if seen[string(key)] {
+				t.Fatalf("k=%d h=%d: duplicate permutation %v (not injective)", k, h, perm)
+			}
+			seen[string(key)] = true
+		}
+		if len(seen) != fact(k) {
+			t.Fatalf("k=%d: %d distinct permutations, want %d (not surjective)", k, len(seen), fact(k))
+		}
+	}
+}
+
+// TestPermutationLargeK checks the big.Int path at the paper's maximum
+// deployment size (91 instances, where 91! overflows every native integer).
+func TestPermutationLargeK(t *testing.T) {
+	k := 91
+	h := new(big.Int).Lsh(big.NewInt(1), 400) // huge but < 91!
+	perm := PermutationIndices(k, h)
+	used := make([]bool, k)
+	for _, p := range perm {
+		if p < 0 || p >= k || used[p] {
+			t.Fatalf("invalid permutation entry %d", p)
+		}
+		used[p] = true
+	}
+}
+
+func TestPermutationPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for h >= k!")
+		}
+	}()
+	PermutationIndices(3, big.NewInt(6)) // 3! = 6 is out of range
+}
+
+// TestOrderSeedDeterministicAndSensitive checks the h = digest(S) mod
+// (k!−1) selection: identical digest sequences give identical seeds, and
+// changing any single proposal changes the seed (with overwhelming
+// probability).
+func TestOrderSeedDeterministicAndSensitive(t *testing.T) {
+	mk := func(seed byte, n int) []types.Digest {
+		out := make([]types.Digest, n)
+		for i := range out {
+			out[i] = types.Hash([]byte{seed, byte(i)})
+		}
+		return out
+	}
+	a, b := mk(1, 8), mk(1, 8)
+	if OrderSeed(a).Cmp(OrderSeed(b)) != 0 {
+		t.Fatal("identical sequences produced different seeds")
+	}
+	c := mk(1, 8)
+	c[3] = types.Hash([]byte("tampered"))
+	if OrderSeed(a).Cmp(OrderSeed(c)) == 0 {
+		t.Fatal("tampering one proposal left the seed unchanged")
+	}
+}
+
+func TestOrderSeedInRange(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		k := int(kRaw%10) + 2
+		digests := make([]types.Digest, k)
+		for i := range digests {
+			digests[i] = types.Hash(append(raw, byte(i)))
+		}
+		h := OrderSeed(digests)
+		fact := big.NewInt(1)
+		for i := 2; i <= k; i++ {
+			fact.Mul(fact, big.NewInt(int64(i)))
+		}
+		limit := new(big.Int).Sub(fact, big.NewInt(1)) // k! − 1 (the paper's modulus)
+		return h.Sign() >= 0 && h.Cmp(limit) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutionOrderIdentityWhenDisabled(t *testing.T) {
+	digests := []types.Digest{types.Hash([]byte("a")), types.Hash([]byte("b")), types.Hash([]byte("c"))}
+	ord := ExecutionOrder(digests, false)
+	for i, p := range ord {
+		if p != i {
+			t.Fatalf("identity order broken: %v", ord)
+		}
+	}
+}
+
+func TestExecutionOrderUnpredictableVaries(t *testing.T) {
+	// Across many rounds the permutation must deviate from identity
+	// (P[identity] = 1/k! per round).
+	deviated := false
+	for r := 0; r < 20 && !deviated; r++ {
+		digests := make([]types.Digest, 5)
+		for i := range digests {
+			digests[i] = types.Hash([]byte{byte(r), byte(i)})
+		}
+		ord := ExecutionOrder(digests, true)
+		for i, p := range ord {
+			if p != i {
+				deviated = true
+			}
+		}
+	}
+	if !deviated {
+		t.Fatal("permutation ordering never deviated from identity across 20 rounds")
+	}
+}
+
+func TestExecutionOrderSingleAndEmpty(t *testing.T) {
+	if got := ExecutionOrder(nil, true); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+	if got := ExecutionOrder([]types.Digest{types.Hash([]byte("x"))}, true); len(got) != 1 || got[0] != 0 {
+		t.Fatal("single input")
+	}
+}

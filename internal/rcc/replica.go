@@ -1,0 +1,570 @@
+package rcc
+
+import (
+	"time"
+
+	"repro/internal/pbft"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+// Factory creates one BCA instance; it is how RCC acts as a paradigm
+// (design goal D3): supply a PBFT, Zyzzyva, or SBFT factory to obtain
+// RCC-P, RCC-Z, or RCC-S.
+type Factory func(cfg InstanceConfig) sm.Instance
+
+// InstanceConfig parameterizes one concurrent BCA instance.
+type InstanceConfig struct {
+	Instance        types.InstanceID
+	Primary         types.ReplicaID
+	Window          int
+	BatchSize       int
+	ProgressTimeout time.Duration
+}
+
+// Config parameterizes an RCC replica.
+type Config struct {
+	// M is the number of concurrent instances (1 ≤ m ≤ n); 0 means n.
+	M int
+	// BatchSize groups client transactions per proposal.
+	BatchSize int
+	// Window is the out-of-order proposal window per instance
+	// (1 disables out-of-order processing).
+	Window int
+	// ProgressTimeout is the per-instance failure-detection timeout.
+	ProgressTimeout time.Duration
+	// RecoveryTimeout bounds the wait for the coordinating leader's
+	// stop proposal before forcing a coordinator view change.
+	RecoveryTimeout time.Duration
+	// Sigma is the lag threshold σ: an instance σ rounds behind any
+	// other is suspected (throttling detection, §IV), and σ also paces
+	// the SwitchInstance schedule (§III-E).
+	Sigma types.Round
+	// UnpredictableOrdering enables the §IV permutation ordering;
+	// when false, round transactions execute in instance order.
+	UnpredictableOrdering bool
+	// DisableNoOpFill turns off no-op filling (§III-E) for tests.
+	DisableNoOpFill bool
+	// NewInstance creates the underlying BCA; nil selects PBFT.
+	NewInstance Factory
+}
+
+func (c *Config) defaults(n int) {
+	if c.M <= 0 || c.M > n {
+		c.M = n
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.Window <= 0 {
+		c.Window = 1
+	}
+	if c.ProgressTimeout <= 0 {
+		c.ProgressTimeout = 500 * time.Millisecond
+	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 4 * c.ProgressTimeout
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 16
+	}
+	if c.NewInstance == nil {
+		c.NewInstance = PBFTFactory()
+	}
+}
+
+// PBFTFactory returns a Factory producing PBFT instances in RCC mode
+// (fixed primary, no view changes).
+func PBFTFactory() Factory {
+	return func(cfg InstanceConfig) sm.Instance {
+		return pbft.New(pbft.Config{
+			Instance:        cfg.Instance,
+			Primary:         cfg.Primary,
+			FixedPrimary:    true,
+			Window:          cfg.Window,
+			BatchSize:       cfg.BatchSize,
+			ProgressTimeout: cfg.ProgressTimeout,
+		})
+	}
+}
+
+// checkpointer is the optional capability RCC uses for dynamic per-need
+// checkpoints (§III-D).
+type checkpointer interface{ ForceCheckpoint() }
+
+// pendinger exposes the queued-request count (used by no-op filling).
+type pendinger interface{ Pending() int }
+
+// rangeSkipper is the optional capability of a BCA to void all rounds below
+// a target that hold no agreed proposal (used by handleStop). The skip must
+// cost O(materialized rounds), not O(range width): restart penalties can
+// span arbitrarily many rounds.
+type rangeSkipper interface{ SkipTo(types.Round) }
+
+// instState tracks one concurrent instance at this replica.
+type instState struct {
+	id      types.InstanceID
+	primary types.ReplicaID
+	inst    sm.Instance
+	coord   *pbft.Instance
+
+	decided map[types.Round]sm.Decision
+	// voidBelow is the void watermark: every round below it that is not in
+	// decided was agreed (via stop(i;E)) to hold no proposal. A watermark
+	// rather than a per-round set keeps restart penalties O(1) in space.
+	voidBelow types.Round
+	lastDec   types.Round // highest decided round
+
+	// Failure handling (Fig. 4).
+	suspected    bool
+	suspectRound types.Round
+	confirmed    bool
+	failures     map[types.ReplicaID]*types.Failure
+	stopProposed bool
+	stops        int         // accepted stop(i;E) count — the penalty exponent
+	startedAt    types.Round // round at which the instance last (re)started
+	rebroadcast  time.Duration
+	ckpForced    types.Round // last round answered with a catch-up checkpoint
+	stallRound   types.Round // round for which a stall timer is armed (0 none)
+}
+
+// switchSched tracks an in-progress client reassignment (§III-E).
+type switchSched struct {
+	from, to    types.InstanceID
+	activeAfter types.Round // to-instance accepts after this RCC round
+	queued      []*types.ClientRequest
+}
+
+// Replica is the RCC machine of one replica: it hosts m concurrent BCA
+// instances plus their coordinating consensus instances, collects per-round
+// decisions, orders them deterministically, and emits them for execution
+// through its environment's Deliver.
+type Replica struct {
+	cfg Config
+	env sm.Env
+
+	states []*instState
+
+	execRound  types.Round // next RCC round to order and deliver (1-based)
+	maxDecided types.Round // highest round decided by any instance
+
+	assign   map[types.ClientID]types.InstanceID
+	switches map[types.ClientID]*switchSched
+
+	coordSeq uint64
+
+	// stats
+	roundsExecuted uint64
+	noopsProposed  uint64
+}
+
+var _ sm.Machine = (*Replica)(nil)
+
+// New creates an RCC replica machine. The quorum parameters come from the
+// environment at Start.
+func New(cfg Config) *Replica {
+	return &Replica{
+		cfg:      cfg,
+		assign:   make(map[types.ClientID]types.InstanceID),
+		switches: make(map[types.ClientID]*switchSched),
+	}
+}
+
+// Start implements sm.Machine: instantiate the m BCA instances and their
+// coordinating consensus instances.
+func (r *Replica) Start(env sm.Env) {
+	r.env = env
+	n := env.Params().N
+	r.cfg.defaults(n)
+	r.execRound = 1
+	r.states = make([]*instState, r.cfg.M)
+	for i := 0; i < r.cfg.M; i++ {
+		id := types.InstanceID(i)
+		st := &instState{
+			id:       id,
+			primary:  types.ReplicaID(i % n),
+			decided:  make(map[types.Round]sm.Decision),
+			failures: make(map[types.ReplicaID]*types.Failure),
+		}
+		st.inst = r.cfg.NewInstance(InstanceConfig{
+			Instance:        id,
+			Primary:         st.primary,
+			Window:          r.cfg.Window,
+			BatchSize:       r.cfg.BatchSize,
+			ProgressTimeout: r.cfg.ProgressTimeout,
+		})
+		// The coordinating consensus P for instance i is a standalone
+		// PBFT instance (view changes enabled) whose initial leader is
+		// the replica after the instance's primary, so a faulty
+		// primary does not lead its own recovery.
+		st.coord = pbft.New(pbft.Config{
+			Instance:        types.CoordInstance(id),
+			Primary:         types.ReplicaID((i + 1) % n),
+			ProgressTimeout: r.cfg.ProgressTimeout,
+			BatchSize:       1,
+			Window:          4,
+		})
+		r.states[i] = st
+		st.coord.SetViewInstalledHook(func(types.View) { r.onCoordViewInstalled(st) })
+		st.inst.Start(&instEnv{outer: env, mgr: r, inst: id})
+		st.coord.Start(&coordEnv{outer: env, mgr: r, inst: id})
+	}
+}
+
+// onCoordViewInstalled runs after the coordinating consensus of st replaced
+// its leader. With a confirmed failure pending, the fresh leader must
+// propose the stop operation immediately, and the other replicas grant it a
+// fresh timeout before suspecting it too (Fig. 4's "waits on the leader Li
+// to propose a valid stop-operation or for the timer to run out") — without
+// this, every replica's recovery timer fires in lockstep and the forced
+// view changes kill each new leader's proposal before it can commit.
+func (r *Replica) onCoordViewInstalled(st *instState) {
+	if !st.confirmed {
+		return
+	}
+	r.env.SetTimer(sm.TimerID{Instance: st.id, Kind: sm.TimerRecovery}, r.cfg.RecoveryTimeout)
+	if st.coord.IsPrimary() {
+		st.stopProposed = false
+		r.maybeProposeStop(st)
+	}
+}
+
+// M returns the number of concurrent instances.
+func (r *Replica) M() int { return len(r.states) }
+
+// OwnInstance returns the instance this replica leads, if any.
+func (r *Replica) OwnInstance() (types.InstanceID, bool) {
+	for _, st := range r.states {
+		if st.primary == r.env.ID() {
+			return st.id, true
+		}
+	}
+	return 0, false
+}
+
+// Instance returns the i-th BCA instance (for tests and the runtime).
+func (r *Replica) Instance(i types.InstanceID) sm.Instance { return r.states[i].inst }
+
+// ExecRound returns the next RCC round awaiting ordering/execution.
+func (r *Replica) ExecRound() types.Round { return r.execRound }
+
+// RoundsExecuted returns the number of completed RCC rounds.
+func (r *Replica) RoundsExecuted() uint64 { return r.roundsExecuted }
+
+// NoOpsProposed returns the number of no-op fill proposals made locally.
+func (r *Replica) NoOpsProposed() uint64 { return r.noopsProposed }
+
+// Status is an introspection snapshot of one instance's recovery state,
+// used by tests, the benchmark harness, and operators.
+type Status struct {
+	Instance    types.InstanceID
+	Primary     types.ReplicaID
+	Halted      bool
+	Suspected   bool
+	Confirmed   bool
+	Stops       int
+	VoidBelow   types.Round
+	LastDecided types.Round
+	StartedAt   types.Round
+	Failures    int        // distinct FAILURE claims held
+	CoordView   types.View // view of the coordinating consensus
+	DecidedExec bool       // whether this instance decided the execution round
+}
+
+// Status returns the snapshot for instance i.
+func (r *Replica) Status(i types.InstanceID) Status {
+	st := r.states[i]
+	_, dec := st.decided[r.execRound]
+	return Status{
+		Instance:    st.id,
+		Primary:     st.primary,
+		Halted:      st.inst.Halted(),
+		Suspected:   st.suspected,
+		Confirmed:   st.confirmed,
+		Stops:       st.stops,
+		VoidBelow:   st.voidBelow,
+		LastDecided: st.lastDec,
+		StartedAt:   st.startedAt,
+		Failures:    len(st.failures),
+		CoordView:   st.coord.View(),
+		DecidedExec: dec,
+	}
+}
+
+// Assignment returns the instance currently serving client c (§III-E:
+// every client is assigned to a single instance).
+func (r *Replica) Assignment(c types.ClientID) types.InstanceID {
+	if inst, ok := r.assign[c]; ok {
+		return inst
+	}
+	return types.InstanceID(uint32(c) % uint32(len(r.states)))
+}
+
+// Propose submits a batch directly to the local replica's own instance
+// (used by the benchmark drivers; client traffic normally arrives as
+// ClientRequest messages).
+func (r *Replica) Propose(b *types.Batch) bool {
+	own, ok := r.OwnInstance()
+	if !ok {
+		return false
+	}
+	return r.states[own].inst.Propose(b)
+}
+
+// OnMessage implements sm.Machine: route by instance and type.
+func (r *Replica) OnMessage(from sm.Source, m types.Message) {
+	switch msg := m.(type) {
+	case *types.ClientRequest:
+		r.routeClientRequest(from, msg)
+		return
+	case *types.Failure:
+		r.onFailure(from, msg)
+		return
+	case *types.SwitchInstance:
+		r.onSwitchRequest(msg)
+		return
+	}
+	id := m.Instance()
+	if types.IsCoord(id) {
+		b := types.BCAOf(id)
+		if int(b) < len(r.states) {
+			r.states[b].coord.OnMessage(from, m)
+		}
+		return
+	}
+	if int(id) < len(r.states) {
+		r.states[id].inst.OnMessage(from, m)
+	}
+}
+
+// OnTimer implements sm.Machine.
+func (r *Replica) OnTimer(id sm.TimerID) {
+	switch id.Kind {
+	case sm.TimerRebroadcast:
+		r.onRebroadcastTimer(id.Instance)
+		return
+	case sm.TimerRecovery:
+		r.onRecoveryTimer(id.Instance)
+		return
+	case sm.TimerLag:
+		r.onStallTimer(id)
+		return
+	}
+	if types.IsCoord(id.Instance) {
+		b := types.BCAOf(id.Instance)
+		if int(b) < len(r.states) {
+			r.states[b].coord.OnTimer(id)
+		}
+		return
+	}
+	if int(id.Instance) < len(r.states) {
+		r.states[id.Instance].inst.OnTimer(id)
+	}
+}
+
+// routeClientRequest forwards a client transaction to the instance serving
+// the client, honoring any in-progress reassignment schedule.
+func (r *Replica) routeClientRequest(from sm.Source, m *types.ClientRequest) {
+	c := m.Tx.Client
+	if sched, ok := r.switches[c]; ok {
+		if r.maxDecided < sched.activeAfter {
+			sched.queued = append(sched.queued, m)
+			return
+		}
+		r.completeSwitch(c, sched)
+	}
+	inst := r.Assignment(c)
+	fwd := types.NewClientRequest(inst, m.Tx)
+	r.states[inst].inst.OnMessage(from, fwd)
+}
+
+// completeSwitch flushes a finished reassignment.
+func (r *Replica) completeSwitch(c types.ClientID, sched *switchSched) {
+	r.assign[c] = sched.to
+	delete(r.switches, c)
+	for _, q := range sched.queued {
+		fwd := types.NewClientRequest(sched.to, q.Tx)
+		r.states[sched.to].inst.OnMessage(sm.FromClient(c), fwd)
+	}
+}
+
+// onSwitchRequest handles a client's SWITCH-INSTANCE broadcast: the current
+// leader of the coordinating consensus of the client's instance proposes
+// the reassignment (agreement makes the schedule consistent everywhere).
+func (r *Replica) onSwitchRequest(m *types.SwitchInstance) {
+	if int(m.To) >= len(r.states) {
+		return
+	}
+	cur := r.Assignment(m.Client)
+	if cur == m.To {
+		return
+	}
+	if _, pending := r.switches[m.Client]; pending {
+		return
+	}
+	coord := r.states[cur].coord
+	if !coord.IsPrimary() {
+		return
+	}
+	r.coordSeq++
+	tx := types.Transaction{Client: 0, Seq: r.coordSeq<<8 | uint64(r.env.ID()) + 1, Op: encodeSwitch(m.Client, m.To)}
+	coord.Propose(&types.Batch{Txns: []types.Transaction{tx}})
+}
+
+// onDecision receives one BCA instance decision (via instEnv.Deliver).
+func (r *Replica) onDecision(inst types.InstanceID, d sm.Decision) {
+	st := r.states[inst]
+	if _, dup := st.decided[d.Round]; dup {
+		return
+	}
+	st.decided[d.Round] = d
+	if d.Round > st.lastDec {
+		st.lastDec = d.Round
+	}
+	if d.Round > r.maxDecided {
+		r.maxDecided = d.Round
+	}
+	// A halted-but-unconfirmed instance whose missing rounds arrived via
+	// checkpoint catch-up resumes participation: the suspected failure
+	// resolved itself (in-the-dark recovery, §III-D).
+	if st.suspected && !st.confirmed && st.inst.Halted() && d.Round >= st.suspectRound {
+		st.inst.ResumeAt(st.lastDec + 1)
+		r.resetDetection(st, st.lastDec+1)
+	}
+	r.checkLag()
+	r.maybeNoOpFill()
+	r.tryExecute()
+}
+
+// tryExecute orders and delivers completed RCC rounds (§III-B steps 2–3):
+// once every instance has either decided round ρ or has ρ void (stopped
+// with a restart penalty covering ρ), the round's transactions execute in
+// the deterministic permutation order of §IV.
+func (r *Replica) tryExecute() {
+	for {
+		type slot struct {
+			inst types.InstanceID
+			dec  sm.Decision
+		}
+		slots := make([]slot, 0, len(r.states))
+		var blockers []*instState
+		for _, st := range r.states {
+			if d, ok := st.decided[r.execRound]; ok {
+				slots = append(slots, slot{st.id, d})
+				continue
+			}
+			if r.execRound < st.voidBelow {
+				continue
+			}
+			blockers = append(blockers, st)
+		}
+		if len(blockers) > 0 {
+			// The round cannot execute yet. If other instances have
+			// already decided it, each blocking instance is due and must
+			// make progress in time — this is what re-detects a resumed
+			// instance whose primary is still crashed once its restart
+			// penalty has been consumed.
+			if len(slots) > 0 {
+				for _, st := range blockers {
+					r.armStall(st)
+				}
+			}
+			return
+		}
+		digests := make([]types.Digest, len(slots))
+		for i := range slots {
+			digests[i] = slots[i].dec.Digest
+		}
+		ord := ExecutionOrder(digests, r.cfg.UnpredictableOrdering)
+		for _, p := range ord {
+			r.env.Deliver(slots[p].dec)
+		}
+		for _, s := range slots {
+			delete(r.states[s.inst].decided, r.execRound)
+		}
+		r.roundsExecuted++
+		r.execRound++
+	}
+}
+
+// armStall arms the execution-stall detector for a blocking instance: if it
+// fails to decide the current execution round within the progress timeout,
+// it is suspected (once per round, so sustained progress elsewhere cannot
+// keep postponing the deadline).
+func (r *Replica) armStall(st *instState) {
+	if st.suspected || st.stallRound == r.execRound {
+		return
+	}
+	st.stallRound = r.execRound
+	id := sm.TimerID{Instance: st.id, Kind: sm.TimerLag, Round: r.execRound}
+	r.env.SetTimer(id, r.cfg.ProgressTimeout)
+}
+
+// onStallTimer fires when a due instance failed to decide the execution
+// round in time.
+func (r *Replica) onStallTimer(id sm.TimerID) {
+	if int(id.Instance) >= len(r.states) || r.execRound != id.Round {
+		return
+	}
+	st := r.states[id.Instance]
+	st.stallRound = 0
+	if st.suspected {
+		return
+	}
+	if _, ok := st.decided[id.Round]; ok || id.Round < st.voidBelow {
+		return
+	}
+	r.suspectInstance(st.id, id.Round)
+}
+
+// checkLag suspects instances lagging σ rounds behind the front runner
+// (throttling attack mitigation, §IV).
+func (r *Replica) checkLag() {
+	for _, st := range r.states {
+		if st.suspected || st.inst.Halted() {
+			continue
+		}
+		behind := st.lastDec
+		if v := r.voidHorizon(st); v > behind {
+			behind = v
+		}
+		if r.maxDecided > behind+r.cfg.Sigma {
+			r.suspectInstance(st.id, behind+1)
+		}
+	}
+}
+
+// voidHorizon returns the highest round void for st (restart penalties
+// count as progress for lag purposes).
+func (r *Replica) voidHorizon(st *instState) types.Round {
+	if st.voidBelow == 0 {
+		return 0
+	}
+	return st.voidBelow - 1
+}
+
+// maybeNoOpFill proposes a no-op on the local replica's own instance when
+// it has nothing to propose but other instances are progressing (§III-E),
+// so low client demand does not stall round completion.
+func (r *Replica) maybeNoOpFill() {
+	if r.cfg.DisableNoOpFill {
+		return
+	}
+	own, ok := r.OwnInstance()
+	if !ok {
+		return
+	}
+	st := r.states[own]
+	if st.inst.Halted() {
+		return
+	}
+	if p, ok := st.inst.(pendinger); ok && p.Pending() > 0 {
+		return
+	}
+	for st.inst.NextProposeRound() <= r.maxDecided {
+		if !st.inst.Propose(types.NoOpBatch()) {
+			return
+		}
+		r.noopsProposed++
+	}
+}

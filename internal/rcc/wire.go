@@ -1,0 +1,117 @@
+package rcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// The coordinating consensus protocol P replicates stop(i; E) operations
+// and SwitchInstance reassignments as ordinary transactions. This file
+// provides the deterministic encoding of those operations into
+// Transaction.Op payloads.
+
+// Coordinator operation codes (first byte of Transaction.Op).
+const (
+	opStop   byte = 0xA1
+	opSwitch byte = 0xA2
+)
+
+// encodeStop serializes a stop(i; E) operation.
+func encodeStop(target types.InstanceID, evidence []*types.Failure) []byte {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, opStop)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(target))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(evidence)))
+	for _, f := range evidence {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(f.Replica))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Round))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.State)))
+		for i := range f.State {
+			ap := &f.State[i]
+			buf = binary.BigEndian.AppendUint64(buf, uint64(ap.Round))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(ap.View))
+			if ap.Prepared {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+			buf = append(buf, ap.Digest[:]...)
+			if ap.Batch != nil {
+				buf = append(buf, 1)
+				buf = ap.Batch.Marshal(buf)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
+// decodeStop parses a stop(i; E) operation.
+func decodeStop(op []byte) (types.InstanceID, []*types.Failure, error) {
+	if len(op) < 5 || op[0] != opStop {
+		return 0, nil, fmt.Errorf("rcc: not a stop operation")
+	}
+	target := types.InstanceID(binary.BigEndian.Uint16(op[1:]))
+	count := int(binary.BigEndian.Uint16(op[3:]))
+	op = op[5:]
+	evidence := make([]*types.Failure, 0, count)
+	for e := 0; e < count; e++ {
+		if len(op) < 14 {
+			return 0, nil, fmt.Errorf("rcc: truncated stop evidence")
+		}
+		f := &types.Failure{
+			Replica: types.ReplicaID(binary.BigEndian.Uint16(op)),
+			Round:   types.Round(binary.BigEndian.Uint64(op[2:])),
+		}
+		f.Inst = target
+		nProps := int(binary.BigEndian.Uint32(op[10:]))
+		op = op[14:]
+		for i := 0; i < nProps; i++ {
+			if len(op) < 50 {
+				return 0, nil, fmt.Errorf("rcc: truncated stop proposal")
+			}
+			var ap types.AcceptedProposal
+			ap.Round = types.Round(binary.BigEndian.Uint64(op))
+			ap.View = types.View(binary.BigEndian.Uint64(op[8:]))
+			ap.Prepared = op[16] == 1
+			copy(ap.Digest[:], op[17:49])
+			hasBatch := op[49] == 1
+			op = op[50:]
+			if hasBatch {
+				b, rest, err := types.UnmarshalBatch(op)
+				if err != nil {
+					return 0, nil, fmt.Errorf("rcc: stop batch: %w", err)
+				}
+				ap.Batch = b
+				op = rest
+			}
+			f.State = append(f.State, ap)
+		}
+		evidence = append(evidence, f)
+	}
+	return target, evidence, nil
+}
+
+// encodeSwitch serializes a SwitchInstance reassignment.
+func encodeSwitch(c types.ClientID, to types.InstanceID) []byte {
+	buf := make([]byte, 0, 7)
+	buf = append(buf, opSwitch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+	return binary.BigEndian.AppendUint16(buf, uint16(to))
+}
+
+// decodeSwitch parses a SwitchInstance reassignment.
+func decodeSwitch(op []byte) (types.ClientID, types.InstanceID, error) {
+	if len(op) != 7 || op[0] != opSwitch {
+		return 0, 0, fmt.Errorf("rcc: not a switch operation")
+	}
+	return types.ClientID(binary.BigEndian.Uint32(op[1:])), types.InstanceID(binary.BigEndian.Uint16(op[5:])), nil
+}
+
+// isCoordOp reports whether a transaction payload is a coordinator op.
+func isCoordOp(op []byte) bool {
+	return len(op) > 0 && (op[0] == opStop || op[0] == opSwitch)
+}

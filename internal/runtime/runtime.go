@@ -1,0 +1,428 @@
+// Package runtime hosts the deterministic protocol state machines
+// (internal/sm) on real goroutines and wall-clock timers, wiring them to a
+// transport (in-memory or TCP), the execution engine, the blockchain
+// ledger, and clients — the ResilientDB-style replica process.
+//
+// Architecture (mirroring §V-B): inbound messages funnel into a single
+// event loop that drives the machine (machines are sequential by contract);
+// decisions flow into the ordered executor, which applies batches to the
+// application, journals blocks, and answers clients with f+1-collectible
+// replies.
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/ledger"
+	"repro/internal/quorum"
+	"repro/internal/sm"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Config parameterizes one replica process.
+type Config struct {
+	// ID is the local replica.
+	ID types.ReplicaID
+	// Params are the deployment's quorum parameters.
+	Params quorum.Params
+	// Machine is the consensus machine to host (RCC replica, standalone
+	// PBFT, ...).
+	Machine sm.Machine
+	// App is the deterministic application decisions execute against.
+	App exec.Application
+	// Journal enables the blockchain ledger.
+	Journal bool
+	// QueueDepth bounds the inbound event queue (default 4096).
+	QueueDepth int
+	// ReplyToClients answers the clients of executed batches.
+	ReplyToClients bool
+}
+
+// Replica is one running replica process.
+type Replica struct {
+	cfg    Config
+	trans  transport.Transport
+	engine *exec.Engine
+	log    *ledger.Ledger
+
+	events chan event
+	timers struct {
+		sync.Mutex
+		m map[sm.TimerID]*time.Timer
+	}
+	start time.Time
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	mu        sync.Mutex
+	delivered uint64
+	executed  uint64
+}
+
+type event struct {
+	from    sm.Source
+	msg     types.Message
+	timer   sm.TimerID
+	isTimer bool
+	fn      func()
+}
+
+// New creates a replica process. Attach a transport with Attach, then Run.
+func New(cfg Config) *Replica {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	r := &Replica{
+		cfg:     cfg,
+		events:  make(chan event, cfg.QueueDepth),
+		stopped: make(chan struct{}),
+		start:   time.Now(),
+	}
+	r.timers.m = make(map[sm.TimerID]*time.Timer)
+	var l *ledger.Ledger
+	if cfg.Journal {
+		l = ledger.New()
+	}
+	r.log = l
+	r.engine = exec.NewEngine(cfg.App, l)
+	return r
+}
+
+// Attach wires the transport (must precede Run).
+func (r *Replica) Attach(t transport.Transport) { r.trans = t }
+
+// Ledger returns the journal (nil unless Config.Journal).
+func (r *Replica) Ledger() *ledger.Ledger { return r.log }
+
+// Executed returns the number of executed transactions.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed
+}
+
+// DeliverReplica implements transport.Endpoint.
+func (r *Replica) DeliverReplica(from types.ReplicaID, m types.Message) {
+	select {
+	case r.events <- event{from: sm.FromReplica(from), msg: m}:
+	case <-r.stopped:
+	}
+}
+
+// DeliverClient implements transport.Endpoint.
+func (r *Replica) DeliverClient(from types.ClientID, m types.Message) {
+	select {
+	case r.events <- event{from: sm.FromClient(from), msg: m}:
+	case <-r.stopped:
+	}
+}
+
+// Run starts the event loop. It returns immediately; Stop shuts down.
+func (r *Replica) Run() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+func (r *Replica) loop() {
+	defer r.wg.Done()
+	env := &replicaEnv{r: r}
+	r.cfg.Machine.Start(env)
+	for {
+		select {
+		case <-r.stopped:
+			return
+		case e := <-r.events:
+			switch {
+			case e.fn != nil:
+				e.fn()
+			case e.isTimer:
+				r.cfg.Machine.OnTimer(e.timer)
+			default:
+				r.cfg.Machine.OnMessage(e.from, e.msg)
+			}
+		}
+	}
+}
+
+// Inspect runs f on the replica's event loop and waits for it to return —
+// the safe way to read machine state (machines are single-threaded by
+// contract). Returns false if the replica stopped before f could run.
+func (r *Replica) Inspect(f func()) bool {
+	done := make(chan struct{})
+	select {
+	case r.events <- event{fn: func() { f(); close(done) }}:
+	case <-r.stopped:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-r.stopped:
+		return false
+	}
+}
+
+// Stop shuts the replica down and waits for the loop to exit.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stopped)
+		r.timers.Lock()
+		for _, t := range r.timers.m {
+			t.Stop()
+		}
+		r.timers.Unlock()
+	})
+	r.wg.Wait()
+	if r.trans != nil {
+		r.trans.Close()
+	}
+}
+
+// replicaEnv implements sm.Env on top of the process.
+type replicaEnv struct {
+	r *Replica
+}
+
+var _ sm.Env = (*replicaEnv)(nil)
+
+func (e *replicaEnv) ID() types.ReplicaID   { return e.r.cfg.ID }
+func (e *replicaEnv) Params() quorum.Params { return e.r.cfg.Params }
+
+func (e *replicaEnv) Send(to types.ReplicaID, m types.Message) {
+	if to == e.r.cfg.ID {
+		// Self-delivery loops through the queue like any other message,
+		// preserving the machine's sequential contract.
+		e.r.DeliverReplica(to, m)
+		return
+	}
+	if e.r.trans != nil {
+		_ = e.r.trans.Send(to, m) // unreachable peers are the timeout paths' job
+	}
+}
+
+func (e *replicaEnv) Broadcast(m types.Message) {
+	for i := 0; i < e.r.cfg.Params.N; i++ {
+		e.Send(types.ReplicaID(i), m)
+	}
+}
+
+func (e *replicaEnv) SendClient(c types.ClientID, m types.Message) {
+	if e.r.trans != nil {
+		_ = e.r.trans.SendClient(c, m)
+	}
+}
+
+// Deliver executes the decision's batch in order, journals it, and answers
+// the clients.
+func (e *replicaEnv) Deliver(d sm.Decision) {
+	r := e.r
+	r.mu.Lock()
+	r.delivered++
+	r.mu.Unlock()
+	if d.Batch == nil || d.Batch.IsNoOp() {
+		// No-op fillers (§III-E) keep rounds complete but carry no client
+		// work: nothing to execute, journal, or answer.
+		return
+	}
+	res := r.engine.ExecuteBatch(d.Batch, ledger.Proof{
+		Instance: d.Instance, Round: d.Round, View: d.View,
+		Digest: d.Digest, Signers: d.Signers,
+	})
+	r.mu.Lock()
+	r.executed += uint64(res.TxnExecuted)
+	r.mu.Unlock()
+	if !r.cfg.ReplyToClients {
+		return
+	}
+	// One reply per client covered by the batch; f+1 identical replies
+	// prove the outcome to the client.
+	seen := make(map[types.ClientID]uint64)
+	for i := range d.Batch.Txns {
+		tx := &d.Batch.Txns[i]
+		if tx.IsNoOp() {
+			continue
+		}
+		if s, ok := seen[tx.Client]; !ok || tx.Seq > s {
+			seen[tx.Client] = tx.Seq
+		}
+	}
+	for c, seq := range seen {
+		reply := &types.ClientReply{
+			Replica: r.cfg.ID, Client: c, Seq: seq,
+			Round: d.Round, Result: res.ResultHash, Count: d.Batch.Len(),
+		}
+		reply.Inst = d.Instance
+		e.SendClient(c, reply)
+	}
+}
+
+func (e *replicaEnv) SetTimer(id sm.TimerID, d time.Duration) {
+	r := e.r
+	r.timers.Lock()
+	defer r.timers.Unlock()
+	if t, ok := r.timers.m[id]; ok {
+		t.Stop()
+	}
+	r.timers.m[id] = time.AfterFunc(d, func() {
+		select {
+		case r.events <- event{timer: id, isTimer: true}:
+		case <-r.stopped:
+		}
+	})
+}
+
+func (e *replicaEnv) CancelTimer(id sm.TimerID) {
+	r := e.r
+	r.timers.Lock()
+	defer r.timers.Unlock()
+	if t, ok := r.timers.m[id]; ok {
+		t.Stop()
+		delete(r.timers.m, id)
+	}
+}
+
+func (e *replicaEnv) Now() time.Duration { return time.Since(e.r.start) }
+
+func (e *replicaEnv) Suspect(inst types.InstanceID, round types.Round) {
+	// Standalone machines route suspicion internally; RCC replicas never
+	// surface it to the runtime. Nothing to do.
+}
+
+func (e *replicaEnv) Logf(format string, args ...any) {}
+
+// ---------------------------------------------------------------------------
+// Client process
+// ---------------------------------------------------------------------------
+
+// ClientProc hosts an sm.ClientMachine on goroutines and a transport.
+type ClientProc struct {
+	id      types.ClientID
+	params  quorum.Params
+	machine sm.ClientMachine
+	trans   transport.Transport
+
+	events chan event
+	timers struct {
+		sync.Mutex
+		m map[sm.TimerID]*time.Timer
+	}
+	start    time.Time
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewClient creates a client process.
+func NewClient(id types.ClientID, params quorum.Params, m sm.ClientMachine) *ClientProc {
+	c := &ClientProc{
+		id: id, params: params, machine: m,
+		events:  make(chan event, 1024),
+		stopped: make(chan struct{}),
+		start:   time.Now(),
+	}
+	c.timers.m = make(map[sm.TimerID]*time.Timer)
+	return c
+}
+
+// Attach wires the transport (must precede Run).
+func (c *ClientProc) Attach(t transport.Transport) { c.trans = t }
+
+// DeliverReplica implements transport.Endpoint.
+func (c *ClientProc) DeliverReplica(from types.ReplicaID, m types.Message) {
+	select {
+	case c.events <- event{from: sm.FromReplica(from), msg: m}:
+	case <-c.stopped:
+	}
+}
+
+// DeliverClient implements transport.Endpoint (unused for clients).
+func (c *ClientProc) DeliverClient(types.ClientID, types.Message) {}
+
+// Run starts the client loop.
+func (c *ClientProc) Run() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.machine.Start(&clientEnv{c: c})
+		for {
+			select {
+			case <-c.stopped:
+				return
+			case e := <-c.events:
+				if e.isTimer {
+					c.machine.OnTimer(e.timer)
+				} else {
+					c.machine.OnMessage(e.from.Replica, e.msg)
+				}
+			}
+		}
+	}()
+}
+
+// Stop shuts the client down.
+func (c *ClientProc) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stopped)
+		c.timers.Lock()
+		for _, t := range c.timers.m {
+			t.Stop()
+		}
+		c.timers.Unlock()
+	})
+	c.wg.Wait()
+	if c.trans != nil {
+		c.trans.Close()
+	}
+}
+
+type clientEnv struct{ c *ClientProc }
+
+var _ sm.ClientEnv = (*clientEnv)(nil)
+
+func (e *clientEnv) Client() types.ClientID { return e.c.id }
+func (e *clientEnv) Params() quorum.Params  { return e.c.params }
+
+func (e *clientEnv) Send(to types.ReplicaID, m types.Message) {
+	if e.c.trans != nil {
+		_ = e.c.trans.Send(to, m)
+	}
+}
+
+func (e *clientEnv) Broadcast(m types.Message) {
+	for i := 0; i < e.c.params.N; i++ {
+		e.Send(types.ReplicaID(i), m)
+	}
+}
+
+func (e *clientEnv) SetTimer(id sm.TimerID, d time.Duration) {
+	c := e.c
+	c.timers.Lock()
+	defer c.timers.Unlock()
+	if t, ok := c.timers.m[id]; ok {
+		t.Stop()
+	}
+	c.timers.m[id] = time.AfterFunc(d, func() {
+		select {
+		case c.events <- event{timer: id, isTimer: true}:
+		case <-c.stopped:
+		}
+	})
+}
+
+func (e *clientEnv) CancelTimer(id sm.TimerID) {
+	c := e.c
+	c.timers.Lock()
+	defer c.timers.Unlock()
+	if t, ok := c.timers.m[id]; ok {
+		t.Stop()
+		delete(c.timers.m, id)
+	}
+}
+
+func (e *clientEnv) Now() time.Duration  { return time.Since(e.c.start) }
+func (e *clientEnv) Logf(string, ...any) {}

@@ -1,0 +1,121 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/crypto"
+	"repro/internal/pbft"
+	"repro/internal/quorum"
+	"repro/internal/rcc"
+	"repro/internal/sm"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/ycsb"
+)
+
+// tcpCluster spins up n replicas over loopback TCP — the exact stack
+// cmd/rccnode runs.
+func tcpCluster(t *testing.T, n int, secret string, machine func() sm.Machine) (map[types.ReplicaID]string, []*Replica) {
+	t.Helper()
+	params, err := quorum.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := make([]*Replica, n)
+	tcps := make([]*transport.TCP, n)
+	peers := make(map[types.ReplicaID]string)
+	for i := 0; i < n; i++ {
+		id := types.ReplicaID(i)
+		reps[i] = New(Config{
+			ID:             id,
+			Params:         params,
+			Machine:        machine(),
+			App:            ycsb.NewStore(1000),
+			Journal:        true,
+			ReplyToClients: true,
+		})
+		var auth crypto.Authenticator
+		if secret != "" {
+			auth = crypto.NewMAC(crypto.PartyID(id), []byte(secret))
+		}
+		tcp, err := transport.NewTCP(transport.TCPConfig{
+			Self: id, Listen: "127.0.0.1:0", Auth: auth,
+		}, reps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcps[i] = tcp
+		peers[id] = tcp.Addr()
+	}
+	for i := 0; i < n; i++ {
+		tcps[i].SetPeers(peers)
+		reps[i].Attach(tcps[i])
+		reps[i].Run()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	return peers, reps
+}
+
+func tcpClient(t *testing.T, peers map[types.ReplicaID]string, params quorum.Params, id types.ClientID, secret string, txns int) *client.Client {
+	t.Helper()
+	mach := client.New(client.Config{Client: id, Broadcast: true, RetryTimeout: time.Second})
+	wl := ycsb.NewWorkload(ycsb.WorkloadConfig{Records: 1000, Seed: int64(id)})
+	for i := 0; i < txns; i++ {
+		mach.Submit(wl.Next(id))
+	}
+	proc := NewClient(id, params, mach)
+	var auth crypto.Authenticator
+	if secret != "" {
+		auth = crypto.NewMAC(crypto.ClientPartyID(id), []byte(secret))
+	}
+	tcp, err := transport.NewTCP(transport.TCPConfig{
+		IsClient: true, SelfClient: id, Peers: peers, Auth: auth,
+	}, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Attach(tcp)
+	proc.Run()
+	t.Cleanup(proc.Stop)
+	return mach
+}
+
+func TestPBFTOverTCP(t *testing.T) {
+	params, _ := quorum.NewParams(4)
+	peers, reps := tcpCluster(t, 4, "tcp-secret", func() sm.Machine {
+		return pbft.New(pbft.Config{BatchSize: 1, Window: 4})
+	})
+	c := tcpClient(t, peers, params, 1, "tcp-secret", 5)
+
+	waitFor(t, 20*time.Second, func() bool { return len(c.Completions()) == 5 })
+	for i, r := range reps {
+		waitFor(t, 10*time.Second, func() bool { return r.Executed() == 5 })
+		if err := r.Ledger().Verify(); err != nil {
+			t.Fatalf("replica %d ledger: %v", i, err)
+		}
+	}
+	h := reps[0].Ledger().Head().Hash()
+	for i := 1; i < 4; i++ {
+		if reps[i].Ledger().Head().Hash() != h {
+			t.Fatalf("replica %d ledger diverges over TCP", i)
+		}
+	}
+}
+
+func TestRCCOverTCP(t *testing.T) {
+	params, _ := quorum.NewParams(4)
+	peers, _ := tcpCluster(t, 4, "", func() sm.Machine {
+		return rcc.New(rcc.Config{BatchSize: 1, Window: 4})
+	})
+	c1 := tcpClient(t, peers, params, 1, "", 3)
+	c2 := tcpClient(t, peers, params, 2, "", 3)
+	waitFor(t, 30*time.Second, func() bool {
+		return len(c1.Completions()) == 3 && len(c2.Completions()) == 3
+	})
+}

@@ -1,0 +1,240 @@
+package sbft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/crypto"
+	"repro/internal/simnet"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+func cluster(t *testing.T, n int, cfg Config, netcfg simnet.Config) (*simnet.Network, []*Instance) {
+	t.Helper()
+	netcfg.N = n
+	if netcfg.Latency == 0 {
+		netcfg.Latency = time.Millisecond
+	}
+	net, err := simnet.New(netcfg)
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	insts := make([]*Instance, n)
+	for i := 0; i < n; i++ {
+		insts[i] = New(cfg)
+		net.SetMachine(types.ReplicaID(i), insts[i])
+	}
+	return net, insts
+}
+
+func addClient(net *simnet.Network, id types.ClientID, txns int) *client.Client {
+	c := client.New(client.Config{
+		Client:       id,
+		Mode:         client.ModePBFT,
+		RetryTimeout: 200 * time.Millisecond,
+		Broadcast:    true,
+	})
+	for s := uint64(1); s <= uint64(txns); s++ {
+		c.Submit(types.Transaction{Client: id, Seq: s, Op: []byte(fmt.Sprintf("op-%d-%d", id, s))})
+	}
+	net.AddClient(id, c)
+	return c
+}
+
+func TestCommitViaThresholdProof(t *testing.T) {
+	net, insts := cluster(t, 4, Config{BatchSize: 1}, simnet.Config{})
+	net.Start()
+	b := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 1, Op: []byte("x")}}}
+	net.Schedule(0, func() { insts[0].Propose(b) })
+	net.Run(time.Second)
+
+	for i := 0; i < 4; i++ {
+		ds := net.Node(types.ReplicaID(i)).Decisions()
+		if len(ds) != 1 {
+			t.Fatalf("replica %d delivered %d decisions, want 1", i, len(ds))
+		}
+		if ds[0].Digest != b.Digest() {
+			t.Fatalf("replica %d delivered wrong digest", i)
+		}
+	}
+	// Message complexity must be linear-ish: shares go to one collector,
+	// not all-to-all. With n=4: 4 preprepares + 4 shares + 4 proofs ≈ 12
+	// non-self messages, far below PBFT's ~4+12+12.
+	byType := net.MessagesByType()
+	if byType[types.MsgSignShare] > 4 {
+		t.Fatalf("SIGN-SHARE count %d, want <= 4 (linear phase)", byType[types.MsgSignShare])
+	}
+}
+
+func TestOutOfOrderWindow(t *testing.T) {
+	net, insts := cluster(t, 4, Config{BatchSize: 1, Window: 8}, simnet.Config{})
+	net.Start()
+	net.Schedule(0, func() {
+		for s := uint64(1); s <= 8; s++ {
+			b := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: s, Op: []byte{byte(s)}}}}
+			if !insts[0].Propose(b) {
+				t.Errorf("window rejected proposal %d", s)
+			}
+		}
+	})
+	net.Run(2 * time.Second)
+	for i := 0; i < 4; i++ {
+		if got := len(net.Node(types.ReplicaID(i)).Decisions()); got != 8 {
+			t.Fatalf("replica %d delivered %d, want 8", i, got)
+		}
+	}
+}
+
+func TestClientRequestsCommit(t *testing.T) {
+	net, _ := cluster(t, 4, Config{BatchSize: 1}, simnet.Config{})
+	c := addClient(net, 1, 3)
+	c.SetWindow(3) // no reply path in this bare-instance test: pipeline all
+	net.Start()
+	net.Run(3 * time.Second)
+	// The client machine relies on ClientReply messages, which the
+	// runtime layer sends (not the bare instance); here we check the
+	// replica side: all requests must commit on all replicas.
+	total := 0
+	for _, d := range net.Node(0).Decisions() {
+		total += d.Batch.Len()
+	}
+	if total != 3 {
+		t.Fatalf("committed %d transactions, want 3", total)
+	}
+}
+
+func TestEquivocationSuspectInRCCMode(t *testing.T) {
+	net, insts := cluster(t, 4, Config{BatchSize: 1, FixedPrimary: true}, simnet.Config{})
+	net.Start()
+	b1 := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 1, Op: []byte("x")}}}
+	b2 := &types.Batch{Txns: []types.Transaction{{Client: 2, Seq: 1, Op: []byte("y")}}}
+	pp1 := &types.PrePrepare{View: 0, Round: 1, Digest: b1.Digest(), Batch: b1}
+	pp2 := &types.PrePrepare{View: 0, Round: 1, Digest: b2.Digest(), Batch: b2}
+	insts[1].OnMessage(sm.FromReplica(0), pp1)
+	insts[1].OnMessage(sm.FromReplica(0), pp2)
+	if len(net.Node(1).Suspicions()) == 0 {
+		t.Fatal("equivocation not reported via Suspect")
+	}
+}
+
+func TestViewChangeOnPrimaryCrash(t *testing.T) {
+	net, insts := cluster(t, 4, Config{BatchSize: 1, ProgressTimeout: 100 * time.Millisecond}, simnet.Config{})
+	addClient(net, 1, 1)
+	net.Start()
+	net.Crash(0)
+	net.Run(5 * time.Second)
+	for i := 1; i < 4; i++ {
+		if insts[i].View() == 0 {
+			t.Fatalf("replica %d never left view 0", i)
+		}
+	}
+	// The request must commit in the new view.
+	total := 0
+	for _, d := range net.Node(1).Decisions() {
+		total += d.Batch.Len()
+	}
+	if total != 1 {
+		t.Fatalf("committed %d transactions after view change, want 1", total)
+	}
+}
+
+func TestSharedThresholdSchemeRequired(t *testing.T) {
+	// Replicas with different schemes must not commit: shares fail
+	// verification at the collector.
+	netcfg := simnet.Config{N: 4, Latency: time.Millisecond}
+	net, err := simnet.New(netcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := crypto.NewThresholdScheme(4, 3, []byte("good"))
+	bad := crypto.NewThresholdScheme(4, 3, []byte("bad"))
+	insts := make([]*Instance, 4)
+	for i := 0; i < 4; i++ {
+		scheme := good
+		if i == 2 {
+			scheme = bad
+		}
+		insts[i] = New(Config{BatchSize: 1, Threshold: scheme, ProgressTimeout: time.Hour})
+		net.SetMachine(types.ReplicaID(i), insts[i])
+	}
+	net.Start()
+	b := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 1, Op: []byte("x")}}}
+	net.Schedule(0, func() { insts[0].Propose(b) })
+	net.Run(time.Second)
+	// Replica 2's share is rejected, but the other three still form a
+	// quorum (nf=3) — the round commits without it.
+	if got := len(net.Node(0).Decisions()); got != 1 {
+		t.Fatalf("delivered %d, want 1 (three good shares suffice)", got)
+	}
+	// Now also break replica 3: only two good shares remain, below nf.
+	insts2 := make([]*Instance, 4)
+	net2, _ := simnet.New(netcfg)
+	for i := 0; i < 4; i++ {
+		scheme := good
+		if i >= 2 {
+			scheme = bad
+		}
+		insts2[i] = New(Config{BatchSize: 1, Threshold: scheme, ProgressTimeout: time.Hour})
+		net2.SetMachine(types.ReplicaID(i), insts2[i])
+	}
+	net2.Start()
+	net2.Schedule(0, func() { insts2[0].Propose(b) })
+	net2.Run(time.Second)
+	if got := len(net2.Node(0).Decisions()); got != 0 {
+		t.Fatalf("delivered %d with insufficient valid shares, want 0", got)
+	}
+}
+
+// TestExecutionProofPhase checks SBFT's second linear phase: after a round
+// executes, the collector combines nf state shares into a FULL-EXECUTE-PROOF
+// and every replica ends up holding a verifiable certificate of the executed
+// prefix.
+func TestExecutionProofPhase(t *testing.T) {
+	net, insts := cluster(t, 4, Config{BatchSize: 1, Window: 4}, simnet.Config{})
+	net.Start()
+	net.Schedule(0, func() {
+		for s := uint64(1); s <= 3; s++ {
+			b := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: s, Op: []byte{byte(s)}}}}
+			insts[0].Propose(b)
+		}
+	})
+	net.Run(2 * time.Second)
+
+	for i := 0; i < 4; i++ {
+		for r := types.Round(1); r <= 3; r++ {
+			proof, ok := insts[i].ExecuteProof(r)
+			if !ok || len(proof) == 0 {
+				t.Fatalf("replica %d holds no execution proof for round %d", i, r)
+			}
+		}
+	}
+	// Proofs must be identical across replicas (one canonical combine).
+	p0, _ := insts[0].ExecuteProof(2)
+	for i := 1; i < 4; i++ {
+		pi, _ := insts[i].ExecuteProof(2)
+		if string(pi) != string(p0) {
+			t.Fatalf("replica %d execution proof diverges", i)
+		}
+	}
+}
+
+// TestExecutionProofRejectsDivergentState forges an execute proof claiming a
+// different state: replicas whose local chain disagrees must not store it.
+func TestExecutionProofRejectsDivergentState(t *testing.T) {
+	net, insts := cluster(t, 4, Config{BatchSize: 1}, simnet.Config{})
+	net.Start()
+	b := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 1, Op: []byte("x")}}}
+	net.Schedule(0, func() { insts[0].Propose(b) })
+	net.Run(time.Second)
+
+	forged := &types.FullExecuteProof{Replica: 2, Round: 1, State: types.Hash([]byte("divergent")), Combined: []byte("junk")}
+	before, _ := insts[1].ExecuteProof(1)
+	insts[1].OnMessage(sm.FromReplica(2), forged)
+	after, ok := insts[1].ExecuteProof(1)
+	if !ok || string(after) != string(before) {
+		t.Fatal("forged execution proof displaced the real one")
+	}
+}

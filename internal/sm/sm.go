@@ -1,0 +1,164 @@
+// Package sm defines the deterministic state-machine framework every
+// consensus protocol in this repository is written against.
+//
+// A protocol is a Machine: a piece of sequential, deterministic code that
+// reacts to messages and timers by emitting effects through its Env (send,
+// broadcast, deliver a decision, arm a timer). The same machine code runs
+// unchanged under
+//
+//   - the deterministic discrete-event simulator (internal/simnet),
+//   - the goroutine/TCP replica runtime (internal/runtime), and
+//   - unit tests (the synchronous Bus in this package),
+//
+// which is what makes property testing and failure injection of the
+// protocols possible.
+package sm
+
+import (
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// TimerKind discriminates protocol timers.
+type TimerKind uint8
+
+// Timer kinds used across the protocols.
+const (
+	TimerProgress    TimerKind = iota + 1 // BCA round progress (failure detection)
+	TimerViewChange                       // view-change completion
+	TimerRecovery                         // RCC: waiting for the coordinating leader's stop proposal
+	TimerRebroadcast                      // RCC: exponential FAILURE rebroadcast
+	TimerBatch                            // primary batch-formation deadline
+	TimerClient                           // client-side retransmission
+	TimerLag                              // RCC: throttling/lag detection (σ rounds behind)
+	TimerEpoch                            // Mir-BFT epoch change
+)
+
+// TimerID identifies one timer of one instance.
+type TimerID struct {
+	Instance types.InstanceID
+	Kind     TimerKind
+	Round    types.Round
+}
+
+// Source identifies the origin of a message: a replica or a client.
+type Source struct {
+	Replica  types.ReplicaID
+	Client   types.ClientID
+	IsClient bool
+}
+
+// FromReplica builds a replica source.
+func FromReplica(r types.ReplicaID) Source { return Source{Replica: r} }
+
+// FromClient builds a client source.
+func FromClient(c types.ClientID) Source { return Source{Client: c, IsClient: true} }
+
+// Decision is an accepted consensus value: instance Inst decided Batch in
+// round Round. Signers records the commit certificate for the ledger proof.
+type Decision struct {
+	Instance types.InstanceID
+	Round    types.Round
+	View     types.View
+	Digest   types.Digest
+	Batch    *types.Batch
+	Signers  []types.ReplicaID
+	// Speculative marks decisions that may still be rolled back
+	// (Zyzzyva's fast path before a commit certificate forms).
+	Speculative bool
+}
+
+// Env is the effect interface a runtime provides to a machine. All calls
+// happen from the machine's own event loop; implementations need not be
+// re-entrant for a single replica.
+type Env interface {
+	// ID returns the local replica.
+	ID() types.ReplicaID
+	// Params returns the deployment's quorum parameters.
+	Params() quorum.Params
+
+	// Send transmits m to one replica. Sending to the local replica
+	// enqueues m for local processing (self-delivery).
+	Send(to types.ReplicaID, m types.Message)
+	// Broadcast transmits m to every replica including the sender
+	// (self-delivery is local and free of network cost).
+	Broadcast(m types.Message)
+	// SendClient transmits m to a client.
+	SendClient(c types.ClientID, m types.Message)
+
+	// Deliver reports a decision ready for ordering/execution.
+	Deliver(d Decision)
+
+	// SetTimer arms (or re-arms) timer id to fire after d.
+	SetTimer(id TimerID, d time.Duration)
+	// CancelTimer disarms timer id; canceling an unarmed timer is a
+	// no-op.
+	CancelTimer(id TimerID)
+
+	// Now returns monotonic (possibly virtual) time since runtime start.
+	Now() time.Duration
+
+	// Suspect reports a detected failure of the primary of instance
+	// inst at round round. Under RCC this triggers the recovery protocol
+	// (Fig. 4); standalone protocols may ignore it and handle failure
+	// internally via view changes.
+	Suspect(inst types.InstanceID, round types.Round)
+
+	// Logf records a debug line. Runtimes may discard it.
+	Logf(format string, args ...any)
+}
+
+// Machine is a deterministic protocol state machine.
+type Machine interface {
+	// Start initializes the machine (arm timers, send initial messages).
+	Start(env Env)
+	// OnMessage processes one incoming message.
+	OnMessage(from Source, m types.Message)
+	// OnTimer processes one fired timer.
+	OnTimer(id TimerID)
+}
+
+// Instance is the interface RCC requires from a Byzantine commit algorithm
+// (paper Assumptions A1–A4 plus the hooks for wait-free recovery).
+type Instance interface {
+	Machine
+
+	// Propose asks the instance to propose batch in its next round.
+	// It returns false when the local replica is not the instance's
+	// primary, when the instance is halted, or when the out-of-order
+	// proposal window is full.
+	Propose(batch *types.Batch) bool
+
+	// LastAccepted returns the highest round in which the local replica
+	// accepted a proposal (0 and false when none).
+	LastAccepted() (types.Round, bool)
+
+	// NextProposeRound returns the round the primary would propose next.
+	NextProposeRound() types.Round
+
+	// Halt stops participation (recovery step, Fig. 4 line 2).
+	Halt()
+	// Halted reports whether the instance is halted.
+	Halted() bool
+	// ResumeAt re-enables the instance with round as the next valid
+	// round number (Fig. 4 line 12).
+	ResumeAt(round types.Round)
+
+	// StateForRecovery returns the accepted proposals that form the
+	// FAILURE message state P in accordance with Assumption A3.
+	StateForRecovery() []types.AcceptedProposal
+
+	// AdoptDecision installs a decision recovered via stop(i;E) or a
+	// checkpoint, without running the commit phases again. Adopting an
+	// already-accepted round is a no-op.
+	AdoptDecision(d Decision)
+}
+
+// Suspector is implemented by client-facing machines that can be told a
+// request went unserved (used to detect primaries refusing service,
+// §III-E).
+type Suspector interface {
+	SuspectClientNeglect(c types.ClientID)
+}

@@ -1,0 +1,421 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MsgType discriminates the messages in the shared catalog.
+type MsgType uint8
+
+// Message type constants. The catalog is shared: PBFT, Zyzzyva, SBFT,
+// HotStuff, RCC, and Mir-BFT all route messages by (InstanceID, MsgType).
+const (
+	MsgInvalid MsgType = iota
+
+	// Client interaction.
+	MsgClientRequest
+	MsgClientReply
+	MsgSwitchInstance // client requests reassignment to another instance (§III-E)
+
+	// PBFT-style Byzantine commit algorithm (§III-A).
+	MsgPrePrepare
+	MsgPrepare
+	MsgCommit
+	MsgCheckpoint
+	MsgViewChange
+	MsgNewView
+
+	// RCC recovery (§III-C, Fig. 4).
+	MsgFailure // FAILURE(i, ρ, P)
+	MsgStop    // stop(i; E) proposed via the coordinating consensus P
+
+	// Zyzzyva.
+	MsgOrderRequest // primary's speculative order assignment
+	MsgSpecResponse // replica's speculative response to the client
+	MsgCommitCert   // client-assembled commit certificate (2f+1 spec responses)
+	MsgLocalCommit  // replica ack of a commit certificate
+	MsgFillHole     // replica asks the primary for missed order requests
+	MsgIHatePrimary // replica accusation starting Zyzzyva view change
+
+	// SBFT.
+	MsgSignShare        // replica's threshold signature share to the collector
+	MsgFullCommitProof  // collector's combined threshold signature
+	MsgSignStateShare   // post-execution share
+	MsgFullExecuteProof // collector's combined execution proof
+
+	// HotStuff (event-based chained variant).
+	MsgHSProposal
+	MsgHSVote
+	MsgHSNewView
+
+	// Mir-BFT-style epoch coordination.
+	MsgEpochChange
+	MsgNewEpoch
+)
+
+var msgTypeNames = map[MsgType]string{
+	MsgInvalid:          "INVALID",
+	MsgClientRequest:    "CLIENT-REQUEST",
+	MsgClientReply:      "CLIENT-REPLY",
+	MsgSwitchInstance:   "SWITCH-INSTANCE",
+	MsgPrePrepare:       "PREPREPARE",
+	MsgPrepare:          "PREPARE",
+	MsgCommit:           "COMMIT",
+	MsgCheckpoint:       "CHECKPOINT",
+	MsgViewChange:       "VIEW-CHANGE",
+	MsgNewView:          "NEW-VIEW",
+	MsgFailure:          "FAILURE",
+	MsgStop:             "STOP",
+	MsgOrderRequest:     "ORDER-REQ",
+	MsgSpecResponse:     "SPEC-RESPONSE",
+	MsgCommitCert:       "COMMIT-CERT",
+	MsgLocalCommit:      "LOCAL-COMMIT",
+	MsgFillHole:         "FILL-HOLE",
+	MsgIHatePrimary:     "I-HATE-THE-PRIMARY",
+	MsgSignShare:        "SIGN-SHARE",
+	MsgFullCommitProof:  "FULL-COMMIT-PROOF",
+	MsgSignStateShare:   "SIGN-STATE-SHARE",
+	MsgFullExecuteProof: "FULL-EXECUTE-PROOF",
+	MsgHSProposal:       "HS-PROPOSAL",
+	MsgHSVote:           "HS-VOTE",
+	MsgHSNewView:        "HS-NEW-VIEW",
+	MsgEpochChange:      "EPOCH-CHANGE",
+	MsgNewEpoch:         "NEW-EPOCH",
+}
+
+func (t MsgType) String() string {
+	if s, ok := msgTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is the interface implemented by every protocol message.
+type Message interface {
+	// Type returns the message discriminator.
+	Type() MsgType
+	// Instance returns the consensus instance the message belongs to.
+	Instance() InstanceID
+	// WireSize returns the simulated size in bytes charged against
+	// network bandwidth (paper §V-B constants).
+	WireSize() int
+	// AuthPayload appends the deterministic byte form covered by the
+	// message authenticator (MAC or signature) to buf.
+	AuthPayload(buf []byte) []byte
+}
+
+// Header is embedded by all messages for the common fields.
+type Header struct {
+	Inst InstanceID
+}
+
+func (h Header) Instance() InstanceID { return h.Inst }
+
+func (h Header) marshal(buf []byte, t MsgType) []byte {
+	buf = append(buf, byte(t))
+	return binary.BigEndian.AppendUint16(buf, uint16(h.Inst))
+}
+
+// ---------------------------------------------------------------------------
+// Client interaction
+// ---------------------------------------------------------------------------
+
+// ClientRequest carries a client transaction to the replicas.
+type ClientRequest struct {
+	Header
+	Tx Transaction
+}
+
+// NewClientRequest builds a client request routed to instance inst.
+func NewClientRequest(inst InstanceID, tx Transaction) *ClientRequest {
+	return &ClientRequest{Header: Header{Inst: inst}, Tx: tx}
+}
+
+func (m *ClientRequest) Type() MsgType { return MsgClientRequest }
+func (m *ClientRequest) WireSize() int { return ClientRequestBytes }
+func (m *ClientRequest) AuthPayload(buf []byte) []byte {
+	return m.Tx.Marshal(m.marshal(buf, MsgClientRequest))
+}
+
+// ClientReply informs a client of the outcome of execution.
+type ClientReply struct {
+	Header
+	Replica ReplicaID
+	Client  ClientID
+	Seq     uint64
+	Round   Round
+	Result  Digest // digest of the execution result
+	Count   int    // transactions covered (batched replies)
+}
+
+func (m *ClientReply) Type() MsgType { return MsgClientReply }
+func (m *ClientReply) WireSize() int { return ReplyWireSize(m.Count) }
+func (m *ClientReply) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgClientReply)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Replica))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Client))
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+	return append(buf, m.Result[:]...)
+}
+
+// SwitchInstance is a client request to be reassigned from its current
+// instance to instance To (§III-E). It is agreed upon via the coordinating
+// consensus of the client's current instance.
+type SwitchInstance struct {
+	Header
+	Client ClientID
+	To     InstanceID
+}
+
+func (m *SwitchInstance) Type() MsgType { return MsgSwitchInstance }
+func (m *SwitchInstance) WireSize() int { return ConsensusMsgBytes }
+func (m *SwitchInstance) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgSwitchInstance)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Client))
+	return binary.BigEndian.AppendUint16(buf, uint16(m.To))
+}
+
+// ---------------------------------------------------------------------------
+// PBFT-style Byzantine commit (also reused by SBFT's proposal and as the
+// coordinating consensus for RCC recovery)
+// ---------------------------------------------------------------------------
+
+// PrePrepare is the primary's proposal of a batch as the Round-th
+// transaction set of its instance in view View.
+type PrePrepare struct {
+	Header
+	View   View
+	Round  Round
+	Digest Digest
+	Batch  *Batch // nil in digest-only retransmissions
+}
+
+func (m *PrePrepare) Type() MsgType { return MsgPrePrepare }
+func (m *PrePrepare) WireSize() int {
+	if m.Batch == nil {
+		return ConsensusMsgBytes
+	}
+	return ProposalWireSize(m.Batch.Len())
+}
+func (m *PrePrepare) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgPrePrepare)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.View))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+	return append(buf, m.Digest[:]...)
+}
+
+// PhaseVote is the shared shape of PREPARE/COMMIT-style votes.
+type PhaseVote struct {
+	Header
+	Replica ReplicaID
+	View    View
+	Round   Round
+	Digest  Digest
+}
+
+func (m *PhaseVote) WireSize() int { return ConsensusMsgBytes }
+func (m *PhaseVote) payload(buf []byte, t MsgType) []byte {
+	buf = m.marshal(buf, t)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Replica))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.View))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+	return append(buf, m.Digest[:]...)
+}
+
+// Prepare is a replica's PREPARE vote for a preprepared proposal.
+type Prepare struct{ PhaseVote }
+
+// NewPrepare builds a PREPARE vote.
+func NewPrepare(inst InstanceID, r ReplicaID, v View, rnd Round, d Digest) *Prepare {
+	return &Prepare{PhaseVote{Header{inst}, r, v, rnd, d}}
+}
+
+func (m *Prepare) Type() MsgType                 { return MsgPrepare }
+func (m *Prepare) AuthPayload(buf []byte) []byte { return m.payload(buf, MsgPrepare) }
+
+// Commit is a replica's COMMIT vote for a prepared proposal.
+type Commit struct{ PhaseVote }
+
+// NewCommit builds a COMMIT vote.
+func NewCommit(inst InstanceID, r ReplicaID, v View, rnd Round, d Digest) *Commit {
+	return &Commit{PhaseVote{Header{inst}, r, v, rnd, d}}
+}
+
+func (m *Commit) Type() MsgType                 { return MsgCommit }
+func (m *Commit) AuthPayload(buf []byte) []byte { return m.payload(buf, MsgCommit) }
+
+// Checkpoint carries a replica's state digest at a round boundary; nf
+// matching checkpoints let in-the-dark replicas recover (§III-D).
+type Checkpoint struct {
+	Header
+	Replica ReplicaID
+	Round   Round
+	State   Digest
+	// Proposals carries the accepted proposals of the sender since the
+	// previous stable checkpoint so in-the-dark replicas can catch up.
+	Proposals []AcceptedProposal
+}
+
+func (m *Checkpoint) Type() MsgType { return MsgCheckpoint }
+func (m *Checkpoint) WireSize() int {
+	sz := ConsensusMsgBytes
+	for i := range m.Proposals {
+		if b := m.Proposals[i].Batch; b != nil {
+			sz += ProposalWireSize(b.Len())
+		}
+	}
+	return sz
+}
+func (m *Checkpoint) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgCheckpoint)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Replica))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+	return append(buf, m.State[:]...)
+}
+
+// AcceptedProposal is one accepted (round, batch) pair together with the
+// view in which it was accepted. It is the unit of state exchanged by
+// checkpoints, FAILURE messages, and view changes (Assumption A3).
+type AcceptedProposal struct {
+	Round  Round
+	View   View
+	Digest Digest
+	Batch  *Batch
+	// Prepared reports whether the sender holds a prepared certificate
+	// (nf PREPARE votes) for the proposal, as opposed to merely having
+	// received the preprepare.
+	Prepared bool
+}
+
+// ViewChange announces that a replica moved to view NewView and carries its
+// prepared-proposal state (PBFT view change).
+type ViewChange struct {
+	Header
+	Replica   ReplicaID
+	NewView   View
+	StableCkp Round
+	Prepared  []AcceptedProposal
+}
+
+func (m *ViewChange) Type() MsgType { return MsgViewChange }
+func (m *ViewChange) WireSize() int {
+	sz := ConsensusMsgBytes
+	for i := range m.Prepared {
+		if b := m.Prepared[i].Batch; b != nil {
+			sz += ProposalWireSize(b.Len())
+		}
+	}
+	return sz
+}
+func (m *ViewChange) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgViewChange)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Replica))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.NewView))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.StableCkp))
+	for i := range m.Prepared {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Prepared[i].Round))
+		buf = append(buf, m.Prepared[i].Digest[:]...)
+	}
+	return buf
+}
+
+// NewView is the new primary's announcement of view NewView, carrying the
+// proposals that must be re-proposed.
+type NewView struct {
+	Header
+	Replica    ReplicaID
+	NewView    View
+	ViewProofs []ReplicaID // replicas whose VIEW-CHANGE messages justify the new view
+	Reproposed []AcceptedProposal
+}
+
+func (m *NewView) Type() MsgType { return MsgNewView }
+func (m *NewView) WireSize() int {
+	sz := ConsensusMsgBytes
+	for i := range m.Reproposed {
+		if b := m.Reproposed[i].Batch; b != nil {
+			sz += ProposalWireSize(b.Len())
+		}
+	}
+	return sz
+}
+func (m *NewView) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgNewView)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Replica))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.NewView))
+	for i := range m.Reproposed {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Reproposed[i].Round))
+		buf = append(buf, m.Reproposed[i].Digest[:]...)
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// RCC recovery (paper Fig. 4)
+// ---------------------------------------------------------------------------
+
+// Failure is the FAILURE(i, ρ, P) message of the RCC recovery protocol: the
+// sender detected failure of the primary of instance Inst in round Round and
+// attaches its per-instance state P (accepted proposals, Assumption A3).
+type Failure struct {
+	Header
+	Replica ReplicaID
+	Round   Round
+	State   []AcceptedProposal
+	// Light indicates the state was elided (full state goes to the
+	// coordinating leader only; everyone else gets FAILURE(i, ρ)).
+	Light bool
+}
+
+func (m *Failure) Type() MsgType { return MsgFailure }
+func (m *Failure) WireSize() int {
+	if m.Light {
+		return ConsensusMsgBytes
+	}
+	sz := ConsensusMsgBytes
+	for i := range m.State {
+		if b := m.State[i].Batch; b != nil {
+			sz += ProposalWireSize(b.Len())
+		}
+	}
+	return sz
+}
+func (m *Failure) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgFailure)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Replica))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+	for i := range m.State {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.State[i].Round))
+		buf = append(buf, m.State[i].Digest[:]...)
+	}
+	return buf
+}
+
+// Stop is the stop(i; E) operation replicated by the coordinating consensus
+// protocol: E is a set of nf FAILURE messages from distinct replicas from
+// which the accepted state of instance Inst can be recovered.
+type Stop struct {
+	Header
+	Target   InstanceID
+	Evidence []*Failure
+}
+
+func (m *Stop) Type() MsgType { return MsgStop }
+func (m *Stop) WireSize() int {
+	sz := ConsensusMsgBytes
+	for _, f := range m.Evidence {
+		sz += f.WireSize()
+	}
+	return sz
+}
+func (m *Stop) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgStop)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Target))
+	for _, f := range m.Evidence {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(f.Replica))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Round))
+	}
+	return buf
+}

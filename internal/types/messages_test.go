@@ -1,0 +1,143 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+// allMessages builds one populated instance of every message type.
+func allMessages() []Message {
+	b := &Batch{Txns: []Transaction{{Client: 9, Seq: 3, Op: []byte("op")}}}
+	d := b.Digest()
+	h := Hash([]byte("chain"))
+	ap := []AcceptedProposal{{Round: 2, View: 1, Digest: d, Batch: b, Prepared: true}}
+	msgs := []Message{
+		NewClientRequest(1, b.Txns[0]),
+		&ClientReply{Replica: 1, Client: 9, Seq: 3, Round: 2, Result: d, Count: 1},
+		&SwitchInstance{Client: 9, To: 2},
+		&PrePrepare{View: 1, Round: 2, Digest: d, Batch: b},
+		NewPrepare(1, 2, 1, 2, d),
+		NewCommit(1, 2, 1, 2, d),
+		&Checkpoint{Replica: 1, Round: 2, State: h, Proposals: ap},
+		&ViewChange{Replica: 1, NewView: 3, StableCkp: 1, Prepared: ap},
+		&NewView{Replica: 1, NewView: 3, ViewProofs: []ReplicaID{0, 1, 2}, Reproposed: ap},
+		&Failure{Replica: 1, Round: 2, State: ap},
+		&Stop{Target: 1, Evidence: []*Failure{{Replica: 1, Round: 2}}},
+		&OrderRequest{View: 1, Round: 2, History: h, Digest: d, Batch: b},
+		&SpecResponse{Replica: 1, View: 1, Round: 2, History: h, Result: d, Client: 9, Count: 1},
+		&CommitCert{Client: 9, View: 1, Round: 2, History: h, Responses: []ReplicaID{0, 1, 2}},
+		&LocalCommit{Replica: 1, View: 1, Round: 2, History: h, Client: 9},
+		&FillHole{Replica: 1, View: 1, From: 2, To: 5},
+		&IHatePrimary{Replica: 1, View: 1},
+		&SignShare{Replica: 1, View: 1, Round: 2, Digest: d, Share: []byte("sh")},
+		&FullCommitProof{Replica: 1, View: 1, Round: 2, Digest: d, Combined: []byte("cb")},
+		&SignStateShare{Replica: 1, Round: 2, State: h, Share: []byte("sh")},
+		&FullExecuteProof{Replica: 1, Round: 2, State: h, Combined: []byte("cb")},
+		&HSProposal{Replica: 1, View: 1, Round: 2, Parent: h, Digest: d, Batch: b},
+		&HSVote{Replica: 1, View: 1, Round: 2, Block: d, Share: []byte("sh")},
+		&HSNewView{Replica: 1, View: 1, HighQC: QuorumCert{View: 1, Block: d}},
+		&EpochChange{Replica: 1, Epoch: 2, Failed: 1, Round: 2},
+		&NewEpoch{Replica: 1, Epoch: 2, Leaders: []ReplicaID{0, 2}, StartRound: 9},
+	}
+	return msgs
+}
+
+// TestAuthPayloadsPairwiseDistinct checks that no two message types (with
+// overlapping field values) authenticate to the same bytes: a tag for one
+// message must never verify another.
+func TestAuthPayloadsPairwiseDistinct(t *testing.T) {
+	msgs := allMessages()
+	seen := make(map[string]MsgType)
+	for _, m := range msgs {
+		payload := string(m.AuthPayload(nil))
+		if prev, dup := seen[payload]; dup {
+			t.Fatalf("%s and %s share an auth payload", prev, m.Type())
+		}
+		seen[payload] = m.Type()
+	}
+}
+
+// TestAuthPayloadsDeterministic checks replayability of the authenticated
+// form (MACs/signatures are computed over it on both ends).
+func TestAuthPayloadsDeterministic(t *testing.T) {
+	for _, m := range allMessages() {
+		if !bytes.Equal(m.AuthPayload(nil), m.AuthPayload(nil)) {
+			t.Fatalf("%s: auth payload not deterministic", m.Type())
+		}
+	}
+}
+
+// TestAuthPayloadsAppend checks the append contract: the payload goes after
+// whatever the caller already buffered.
+func TestAuthPayloadsAppend(t *testing.T) {
+	prefix := []byte("prefix")
+	for _, m := range allMessages() {
+		out := m.AuthPayload(append([]byte(nil), prefix...))
+		if !bytes.HasPrefix(out, prefix) {
+			t.Fatalf("%s: append contract broken", m.Type())
+		}
+		if !bytes.Equal(out[len(prefix):], m.AuthPayload(nil)) {
+			t.Fatalf("%s: appended payload differs", m.Type())
+		}
+	}
+}
+
+// TestWireSizesPositiveAndTyped checks every message reports a positive
+// simulated wire size and its declared type.
+func TestWireSizesPositiveAndTyped(t *testing.T) {
+	for _, m := range allMessages() {
+		if m.WireSize() <= 0 {
+			t.Fatalf("%s: non-positive wire size", m.Type())
+		}
+		if m.Type() == MsgInvalid {
+			t.Fatalf("%T: invalid type", m)
+		}
+	}
+}
+
+// TestInstanceRouting checks the Header Instance accessor survives each
+// concrete type.
+func TestInstanceRouting(t *testing.T) {
+	for _, m := range allMessages() {
+		pp, ok := m.(*PrePrepare)
+		if !ok {
+			continue
+		}
+		pp.Inst = 7
+		if pp.Instance() != 7 {
+			t.Fatal("instance accessor broken")
+		}
+	}
+}
+
+// TestBatchCarryingSizesScale checks that batch-carrying messages charge
+// proposal-proportional wire sizes while votes stay constant.
+func TestBatchCarryingSizesScale(t *testing.T) {
+	small := &Batch{Txns: make([]Transaction, 10)}
+	large := &Batch{Txns: make([]Transaction, 400)}
+	if (&PrePrepare{Batch: small}).WireSize() >= (&PrePrepare{Batch: large}).WireSize() {
+		t.Fatal("preprepare size does not scale with batch")
+	}
+	if (&OrderRequest{Batch: small}).WireSize() >= (&OrderRequest{Batch: large}).WireSize() {
+		t.Fatal("order request size does not scale with batch")
+	}
+	if (&HSProposal{Batch: small}).WireSize() >= (&HSProposal{Batch: large}).WireSize() {
+		t.Fatal("hotstuff proposal size does not scale with batch")
+	}
+	v := NewPrepare(0, 0, 0, 1, ZeroDigest)
+	if v.WireSize() != ConsensusMsgBytes {
+		t.Fatal("vote size not constant")
+	}
+	// Aggregates charge their contents.
+	ap := []AcceptedProposal{{Batch: large}}
+	if (&ViewChange{Prepared: ap}).WireSize() <= ConsensusMsgBytes {
+		t.Fatal("view change ignores carried proposals")
+	}
+	if (&NewView{Reproposed: ap}).WireSize() <= ConsensusMsgBytes {
+		t.Fatal("new view ignores carried proposals")
+	}
+	st := &Stop{Evidence: []*Failure{{State: ap}}}
+	if st.WireSize() <= ConsensusMsgBytes {
+		t.Fatal("stop ignores carried evidence")
+	}
+}

@@ -1,0 +1,199 @@
+// Package types defines the identifiers, transactions, batches, and the
+// shared message catalog used by every consensus protocol in this
+// repository.
+//
+// All encodings are deterministic: two replicas marshalling the same value
+// produce identical bytes, which is required both for digests (proposals
+// are identified by their digest) and for authenticators (MACs and
+// signatures are computed over the marshalled form).
+//
+// Wire sizes follow the constants reported in the RCC paper (§V-B): a
+// 100-transaction proposal is 5400 B (54 B per transaction), a client reply
+// for 100 transactions is 1748 B, and all other consensus messages are
+// 250 B. WireSize is what the simulators charge against link bandwidth; the
+// actual marshalled form may be smaller.
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// ReplicaID identifies a replica. Replicas are numbered 0..n-1.
+type ReplicaID uint16
+
+// NoReplica is a sentinel for "no replica" (e.g. broadcast destinations).
+const NoReplica = ReplicaID(0xffff)
+
+// InstanceID identifies a consensus instance. Under RCC, instance i of the
+// Byzantine commit algorithm is coordinated by primary P_i = replica i.
+// Coordinating (recovery) consensus instances use a disjoint ID range; see
+// CoordInstance.
+type InstanceID uint16
+
+// CoordOffset separates BCA instance IDs from the per-instance coordinating
+// consensus protocol P used during recovery (paper §III-C).
+const CoordOffset InstanceID = 1 << 12
+
+// CoordInstance returns the instance ID of the coordinating consensus
+// protocol responsible for recovering BCA instance i.
+func CoordInstance(i InstanceID) InstanceID { return i + CoordOffset }
+
+// IsCoord reports whether id names a coordinating consensus instance.
+func IsCoord(id InstanceID) bool { return id >= CoordOffset }
+
+// BCAOf returns the BCA instance a coordinating instance recovers.
+func BCAOf(id InstanceID) InstanceID { return id - CoordOffset }
+
+// ClientID identifies a client.
+type ClientID uint32
+
+// View numbers the views of a primary-backup protocol.
+type View uint64
+
+// Round numbers consensus rounds (sequence numbers) within an instance.
+type Round uint64
+
+// Digest is a SHA-256 digest used to identify proposals and states.
+type Digest [32]byte
+
+// ZeroDigest is the all-zero digest.
+var ZeroDigest Digest
+
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
+
+// IsZero reports whether d is the zero digest.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// Uint64 folds the digest into a uint64, used to seed the deterministic
+// execution-order permutation (paper §IV).
+func (d Digest) Uint64() uint64 { return binary.BigEndian.Uint64(d[:8]) }
+
+// Hash computes the SHA-256 digest of data.
+func Hash(data []byte) Digest { return sha256.Sum256(data) }
+
+// Transaction is a client-signed request ⟨T⟩_c. Op is an opaque payload
+// interpreted by the execution engine (YCSB operation, bank transfer, ...).
+type Transaction struct {
+	Client ClientID
+	Seq    uint64 // per-client sequence number
+	Op     []byte
+}
+
+// NoOp returns the small no-op transaction a primary proposes when it has no
+// client transactions but observes other instances progressing (§III-E).
+func NoOp() Transaction { return Transaction{Client: 0, Seq: 0, Op: nil} }
+
+// IsNoOp reports whether t is a no-op transaction.
+func (t *Transaction) IsNoOp() bool { return t.Client == 0 && t.Seq == 0 && len(t.Op) == 0 }
+
+// Marshal appends the deterministic encoding of t to buf.
+func (t *Transaction) Marshal(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Client))
+	buf = binary.BigEndian.AppendUint64(buf, t.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.Op)))
+	return append(buf, t.Op...)
+}
+
+// UnmarshalTransaction decodes a transaction from buf, returning the rest.
+func UnmarshalTransaction(buf []byte) (Transaction, []byte, error) {
+	var t Transaction
+	if len(buf) < 16 {
+		return t, nil, fmt.Errorf("types: short transaction: %d bytes", len(buf))
+	}
+	t.Client = ClientID(binary.BigEndian.Uint32(buf))
+	t.Seq = binary.BigEndian.Uint64(buf[4:])
+	n := int(binary.BigEndian.Uint32(buf[12:]))
+	buf = buf[16:]
+	if len(buf) < n {
+		return t, nil, fmt.Errorf("types: transaction op truncated: want %d have %d", n, len(buf))
+	}
+	if n > 0 {
+		t.Op = append([]byte(nil), buf[:n]...)
+	}
+	return t, buf[n:], nil
+}
+
+// Digest returns the digest identifying t.
+func (t *Transaction) Digest() Digest { return Hash(t.Marshal(nil)) }
+
+// Batch groups client transactions into one proposal (§V-B: ResilientDB
+// typically groups 100 txn/batch to amortize consensus cost).
+type Batch struct {
+	Txns []Transaction
+}
+
+// Marshal appends the deterministic encoding of b to buf.
+func (b *Batch) Marshal(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b.Txns)))
+	for i := range b.Txns {
+		buf = b.Txns[i].Marshal(buf)
+	}
+	return buf
+}
+
+// UnmarshalBatch decodes a batch from buf, returning the rest.
+func UnmarshalBatch(buf []byte) (*Batch, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("types: short batch")
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	b := &Batch{Txns: make([]Transaction, 0, n)}
+	for i := 0; i < n; i++ {
+		t, rest, err := UnmarshalTransaction(buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("types: batch txn %d: %w", i, err)
+		}
+		b.Txns = append(b.Txns, t)
+		buf = rest
+	}
+	return b, buf, nil
+}
+
+// Digest returns the digest identifying the batch.
+func (b *Batch) Digest() Digest { return Hash(b.Marshal(nil)) }
+
+// Len returns the number of transactions in the batch.
+func (b *Batch) Len() int { return len(b.Txns) }
+
+// IsNoOp reports whether the batch is a single no-op filler.
+func (b *Batch) IsNoOp() bool { return len(b.Txns) == 1 && b.Txns[0].IsNoOp() }
+
+// NoOpBatch returns a batch holding a single no-op transaction.
+func NoOpBatch() *Batch { return &Batch{Txns: []Transaction{NoOp()}} }
+
+// Wire-size constants from the paper (§V-B).
+const (
+	// ProposalBytesPerTxn is the proposal size per transaction: a
+	// 100-transaction proposal is 5400 B.
+	ProposalBytesPerTxn = 54
+	// ReplyBytesPerTxn is the client-reply size per transaction: a reply
+	// for 100 transactions is 1748 B (rounded up).
+	ReplyBytesPerTxn = 18
+	// ConsensusMsgBytes is the size of every non-proposal consensus
+	// message (PREPARE, COMMIT, votes, shares, ...): 250 B.
+	ConsensusMsgBytes = 250
+	// ClientRequestBytes is the size of one client request on the wire
+	// (Fig. 1 uses 512 B individual transactions).
+	ClientRequestBytes = 512
+)
+
+// ProposalWireSize returns the simulated wire size of a proposal carrying
+// batchSize transactions.
+func ProposalWireSize(batchSize int) int {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return ProposalBytesPerTxn * batchSize
+}
+
+// ReplyWireSize returns the simulated wire size of a client reply covering
+// batchSize transactions.
+func ReplyWireSize(batchSize int) int {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return ReplyBytesPerTxn * batchSize
+}

@@ -1,0 +1,179 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransactionMarshalRoundTrip(t *testing.T) {
+	f := func(client uint32, seq uint64, op []byte) bool {
+		tx := Transaction{Client: ClientID(client), Seq: seq, Op: op}
+		buf := tx.Marshal(nil)
+		got, rest, err := UnmarshalTransaction(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got.Client == tx.Client && got.Seq == tx.Seq && bytes.Equal(got.Op, tx.Op)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransactionMarshalDeterministic(t *testing.T) {
+	tx := Transaction{Client: 7, Seq: 9, Op: []byte("hello")}
+	if !bytes.Equal(tx.Marshal(nil), tx.Marshal(nil)) {
+		t.Fatal("marshal not deterministic")
+	}
+	if tx.Digest() != tx.Digest() {
+		t.Fatal("digest not deterministic")
+	}
+}
+
+func TestUnmarshalTransactionTruncated(t *testing.T) {
+	tx := Transaction{Client: 1, Seq: 2, Op: []byte("abcdef")}
+	buf := tx.Marshal(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := UnmarshalTransaction(buf[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(buf))
+		}
+	}
+}
+
+func TestBatchMarshalRoundTrip(t *testing.T) {
+	b := &Batch{Txns: []Transaction{
+		{Client: 1, Seq: 1, Op: []byte("a")},
+		{Client: 2, Seq: 9, Op: nil},
+		{Client: 3, Seq: 100, Op: bytes.Repeat([]byte{0xAB}, 500)},
+	}}
+	enc := b.Marshal(nil)
+	got, rest, err := UnmarshalBatch(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("round trip: %v (rest %d)", err, len(rest))
+	}
+	if got.Digest() != b.Digest() {
+		t.Fatal("digest changed across round trip")
+	}
+	if got.Len() != 3 {
+		t.Fatalf("len %d, want 3", got.Len())
+	}
+}
+
+func TestBatchDigestBindsContent(t *testing.T) {
+	b1 := &Batch{Txns: []Transaction{{Client: 1, Seq: 1, Op: []byte("a")}}}
+	b2 := &Batch{Txns: []Transaction{{Client: 1, Seq: 1, Op: []byte("b")}}}
+	b3 := &Batch{Txns: []Transaction{{Client: 1, Seq: 2, Op: []byte("a")}}}
+	if b1.Digest() == b2.Digest() || b1.Digest() == b3.Digest() {
+		t.Fatal("digest collision on differing batches")
+	}
+}
+
+func TestNoOpSemantics(t *testing.T) {
+	n := NoOp()
+	if !n.IsNoOp() {
+		t.Fatal("NoOp not recognized")
+	}
+	real := Transaction{Client: 1, Seq: 1}
+	if real.IsNoOp() {
+		t.Fatal("real txn recognized as noop")
+	}
+	nb := NoOpBatch()
+	if !nb.IsNoOp() || nb.Len() != 1 {
+		t.Fatal("NoOpBatch malformed")
+	}
+	mixed := &Batch{Txns: []Transaction{NoOp(), real}}
+	if mixed.IsNoOp() {
+		t.Fatal("mixed batch flagged as noop")
+	}
+}
+
+func TestCoordInstanceMapping(t *testing.T) {
+	for i := InstanceID(0); i < 100; i++ {
+		c := CoordInstance(i)
+		if !IsCoord(c) {
+			t.Fatalf("coord(%d) not recognized", i)
+		}
+		if IsCoord(i) {
+			t.Fatalf("instance %d misread as coord", i)
+		}
+		if BCAOf(c) != i {
+			t.Fatalf("BCAOf(coord(%d)) = %d", i, BCAOf(c))
+		}
+	}
+}
+
+func TestWireSizeConstantsMatchPaper(t *testing.T) {
+	// §V-B: 100-txn proposal = 5400 B; 100-txn reply = 1748 B (we round to
+	// 1800 with 18 B/txn); consensus messages 250 B.
+	if got := ProposalWireSize(100); got != 5400 {
+		t.Fatalf("proposal(100) = %d, want 5400", got)
+	}
+	if got := ReplyWireSize(100); got < 1748 || got > 1900 {
+		t.Fatalf("reply(100) = %d, want ≈1748", got)
+	}
+	if ConsensusMsgBytes != 250 {
+		t.Fatalf("consensus msg = %d, want 250", ConsensusMsgBytes)
+	}
+	if got := ProposalWireSize(0); got != ProposalBytesPerTxn {
+		t.Fatalf("proposal(0) = %d, want one-txn floor", got)
+	}
+}
+
+func TestDigestHelpers(t *testing.T) {
+	if !ZeroDigest.IsZero() {
+		t.Fatal("zero digest not zero")
+	}
+	d := Hash([]byte("x"))
+	if d.IsZero() {
+		t.Fatal("hash is zero")
+	}
+	if d.Uint64() == 0 && Hash([]byte("y")).Uint64() == 0 {
+		t.Fatal("uint64 folding degenerate")
+	}
+	if len(d.String()) == 0 {
+		t.Fatal("empty digest string")
+	}
+}
+
+func TestAuthPayloadsDifferAcrossTypes(t *testing.T) {
+	// A PREPARE and a COMMIT with identical fields must authenticate
+	// differently, or votes could be replayed across phases.
+	d := Hash([]byte("d"))
+	p := NewPrepare(1, 2, 3, 4, d)
+	c := NewCommit(1, 2, 3, 4, d)
+	if bytes.Equal(p.AuthPayload(nil), c.AuthPayload(nil)) {
+		t.Fatal("PREPARE and COMMIT share an auth payload")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for mt := MsgInvalid; mt <= MsgNewEpoch; mt++ {
+		if s := mt.String(); s == "" {
+			t.Fatalf("empty name for type %d", mt)
+		}
+	}
+	if MsgType(200).String() == "" {
+		t.Fatal("unknown type has empty name")
+	}
+}
+
+func TestMessageWireSizes(t *testing.T) {
+	b := &Batch{Txns: make([]Transaction, 100)}
+	pp := &PrePrepare{Batch: b}
+	if pp.WireSize() != ProposalWireSize(100) {
+		t.Fatal("preprepare wire size")
+	}
+	ppNil := &PrePrepare{}
+	if ppNil.WireSize() != ConsensusMsgBytes {
+		t.Fatal("digest-only preprepare wire size")
+	}
+	f := &Failure{State: []AcceptedProposal{{Batch: b}}}
+	if f.WireSize() <= ConsensusMsgBytes {
+		t.Fatal("failure with state should exceed base size")
+	}
+	fl := &Failure{Light: true, State: []AcceptedProposal{{Batch: b}}}
+	if fl.WireSize() != ConsensusMsgBytes {
+		t.Fatal("light failure should cost base size")
+	}
+}

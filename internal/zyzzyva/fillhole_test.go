@@ -1,0 +1,69 @@
+package zyzzyva
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// TestFillHoleRecoversMissedOrderRequests drops one order request on its
+// way to a single replica. When the next order request arrives, the replica
+// must notice the gap, ask the primary to fill the hole, and end up
+// delivering both rounds in order.
+func TestFillHoleRecoversMissedOrderRequests(t *testing.T) {
+	dropping := true
+	dropped := 0
+	netcfg := simnet.Config{
+		N:       4,
+		Latency: time.Millisecond,
+		Drop: func(from, to types.ReplicaID, m types.Message) bool {
+			// Drop only the FIRST order request from the primary to
+			// replica 3.
+			if dropping && from == 0 && to == 3 && m.Type() == types.MsgOrderRequest {
+				dropping = false
+				dropped++
+				return true
+			}
+			return false
+		},
+	}
+	net, err := simnet.New(netcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := make([]*Instance, 4)
+	for i := 0; i < 4; i++ {
+		insts[i] = New(Config{BatchSize: 1, Window: 4})
+		net.SetMachine(types.ReplicaID(i), insts[i])
+	}
+	net.Start()
+
+	// Two back-to-back proposals: replica 3 misses round 1, sees round 2,
+	// and must fill the hole.
+	b1 := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 1, Op: []byte("a")}}}
+	b2 := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 2, Op: []byte("b")}}}
+	net.Schedule(0, func() {
+		insts[0].Propose(b1)
+		insts[0].Propose(b2)
+	})
+	net.Run(2 * time.Second)
+
+	if dropped != 1 {
+		t.Fatalf("drop rule fired %d times, want 1", dropped)
+	}
+	if net.MessagesByType()[types.MsgFillHole] == 0 {
+		t.Fatal("no FILL-HOLE was ever sent")
+	}
+	ds := net.Node(3).Decisions()
+	if len(ds) != 2 {
+		t.Fatalf("replica 3 delivered %d rounds, want 2 (hole filled)", len(ds))
+	}
+	if ds[0].Round != 1 || ds[1].Round != 2 {
+		t.Fatalf("delivery order %d,%d, want 1,2", ds[0].Round, ds[1].Round)
+	}
+	if ds[0].Digest != b1.Digest() || ds[1].Digest != b2.Digest() {
+		t.Fatal("recovered rounds carry wrong batches")
+	}
+}
