@@ -24,6 +24,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/sm"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // reportPeak extracts a table's peak numeric cell in the given column.
@@ -197,6 +198,62 @@ func BenchmarkSimnetRCCRound(b *testing.B) {
 		net.Run(time.Second)
 		if reps[0].RoundsExecuted() == 0 {
 			b.Fatal("no rounds executed")
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the durable journal's hot path under each
+// durability policy, for a 1-transaction block record (54 B, the
+// interactive BatchSize=1 default — fsync-latency bound) and a
+// 100-transaction block record (5400 B, the paper's proposal size — closer
+// to write-bandwidth bound). Group commit must amortize the fsync cost
+// across concurrent appenders — an order of magnitude on the small-record
+// case, visible directly in the records/fsync metric — which is what keeps
+// durable mode off the consensus critical path.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		txns int
+	}{
+		{"block=1txn", 1},
+		{"block=100txn", 100},
+	} {
+		payload := make([]byte, types.ProposalWireSize(size.txns))
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		for _, mode := range []struct {
+			name string
+			sync wal.SyncPolicy
+		}{
+			{"per-record-sync", wal.SyncAlways},
+			{"group-commit", wal.SyncGroup},
+		} {
+			b.Run(size.name+"/"+mode.name, func(b *testing.B) {
+				l, err := wal.Open(b.TempDir(), wal.Options{Sync: mode.sync})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				b.SetBytes(int64(len(payload)))
+				// Many appenders per core — the replica runtime's
+				// situation, and the case group commit exists for. fsync
+				// is a blocking syscall, so appenders overlap it even on
+				// one core.
+				b.SetParallelism(32)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := l.Append(payload); err != nil {
+							b.Error(err) // Fatal is not allowed off the benchmark goroutine
+							return
+						}
+					}
+				})
+				if appends, syncs := l.Stats(); syncs > 0 {
+					b.ReportMetric(float64(appends)/float64(syncs), "records/fsync")
+				}
+			})
 		}
 	}
 }

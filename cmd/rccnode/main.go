@@ -28,6 +28,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/wal"
 	"repro/internal/ycsb"
 )
 
@@ -59,6 +60,9 @@ func main() {
 		records  = flag.Int("records", ycsb.DefaultRecords, "YCSB table records")
 		macKey   = flag.String("mac-secret", "", "shared MAC secret (enables HMAC frame authentication)")
 		statsSec = flag.Int("stats", 10, "stats print interval in seconds (0 off)")
+		dataDir  = flag.String("data-dir", "", "durable storage directory: journal decided blocks through a WAL and resume from it on restart")
+		syncMode = flag.String("sync", "group", "WAL durability with -data-dir: group (batched fsync), always (fsync per block), none")
+		snapEach = flag.Uint64("snapshot-every", 1024, "persist an application checkpoint every N blocks with -data-dir (0 off)")
 	)
 	flag.Parse()
 
@@ -85,14 +89,41 @@ func main() {
 		log.Fatalf("rccnode: %v", err)
 	}
 
-	rep := runtime.New(runtime.Config{
+	var durability wal.SyncPolicy
+	switch *syncMode {
+	case "group":
+		durability = wal.SyncGroup
+	case "always":
+		durability = wal.SyncAlways
+	case "none":
+		durability = wal.SyncNone
+	default:
+		log.Fatalf("rccnode: unknown -sync mode %q (want group, always, or none)", *syncMode)
+	}
+
+	rep, err := runtime.New(runtime.Config{
 		ID:             types.ReplicaID(*id),
 		Params:         params,
 		Machine:        machine,
 		App:            ycsb.NewStore(*records),
 		Journal:        true,
+		DataDir:        *dataDir,
+		Durability:     durability,
+		SnapshotEvery:  *snapEach,
 		ReplyToClients: true,
 	})
+	if err != nil {
+		log.Fatalf("rccnode: opening durable state: %v", err)
+	}
+	if *dataDir != "" {
+		if h := rep.Ledger().Height(); h > 0 {
+			head := rep.Ledger().Head()
+			log.Printf("rccnode: resumed from %s at ledger height %d (head %v, %d txns)",
+				*dataDir, h, head.Hash(), rep.Ledger().TxnCount())
+		} else {
+			log.Printf("rccnode: fresh durable state in %s", *dataDir)
+		}
+	}
 
 	var auth crypto.Authenticator
 	if *macKey != "" {
@@ -111,6 +142,17 @@ func main() {
 	rep.Run()
 	log.Printf("rccnode: replica %d/%d (%s) listening on %s", *id, *n, *protoArg, tcp.Addr())
 
+	if *dataDir != "" {
+		// Durability watchdog, independent of -stats: a replica that can
+		// no longer journal must stop acknowledging transactions.
+		go func() {
+			for range time.Tick(time.Second) {
+				if err := rep.DurabilityErr(); err != nil {
+					log.Fatalf("rccnode: durable journal failed, stopping: %v", err)
+				}
+			}
+		}()
+	}
 	if *statsSec > 0 {
 		go func() {
 			var last uint64

@@ -8,6 +8,18 @@
 // cmd/rccbench. See README.md for the tour, DESIGN.md for the system
 // inventory, and EXPERIMENTS.md for measured-vs-paper results.
 //
+// Durable storage: replicas configured with a data directory
+// (runtime.Config.DataDir, core.Options.DataDir, rccnode -data-dir)
+// journal every decided block through a segmented, CRC-checked,
+// group-commit write-ahead log (internal/wal) and persist execution-state
+// checkpoints (internal/store) — RCC's dynamic per-need checkpoints
+// (§III-D) double as the durable recovery points. A restarted replica
+// replays the log (truncating a torn tail, refusing corruption), restores
+// the application from the latest checkpoint, and resumes at its pre-crash
+// ledger height with an identical head hash — no state transfer from
+// peers. See internal/wal's package documentation for the on-disk format
+// and examples/recovery for a kill-and-restart walkthrough.
+//
 // The root-level benchmarks (bench_test.go) expose one testing.B target per
 // table and figure of the paper's evaluation:
 //

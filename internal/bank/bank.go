@@ -108,6 +108,54 @@ func (b *Bank) Execute(tx types.Transaction) []byte {
 	return []byte{0}
 }
 
+// Snapshot serializes the balances and the applied-transfer counter in
+// deterministic (sorted) order for checkpoint persistence
+// (store.Snapshotter).
+func (b *Bank) Snapshot() []byte {
+	names := make([]string, 0, len(b.balances))
+	for k := range b.balances {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, 16+24*len(names))
+	buf = binary.BigEndian.AppendUint64(buf, b.applied)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
+	for _, k := range names {
+		buf = appendString(buf, k)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(b.balances[k]))
+	}
+	return buf
+}
+
+// Restore replaces the bank state with a Snapshot image
+// (store.Snapshotter).
+func (b *Bank) Restore(data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("bank: short snapshot: %d bytes", len(data))
+	}
+	applied := binary.BigEndian.Uint64(data)
+	n := int(binary.BigEndian.Uint32(data[8:]))
+	data = data[12:]
+	balances := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		k, rest, err := readString(data)
+		if err != nil {
+			return fmt.Errorf("bank: snapshot account %d: %w", i, err)
+		}
+		if len(rest) < 8 {
+			return fmt.Errorf("bank: snapshot truncated at account %d", i)
+		}
+		balances[k] = int64(binary.BigEndian.Uint64(rest))
+		data = rest[8:]
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("bank: %d trailing snapshot bytes", len(data))
+	}
+	b.balances = balances
+	b.applied = applied
+	return nil
+}
+
 // StateDigest hashes all balances in deterministic (sorted) order.
 func (b *Bank) StateDigest() types.Digest {
 	names := make([]string, 0, len(b.balances))

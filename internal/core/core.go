@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/client"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/sm"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/wal"
 	"repro/internal/ycsb"
 	"repro/internal/zyzzyva"
 )
@@ -75,8 +77,25 @@ type Options struct {
 	App func() exec.Application
 	// Journal enables the per-replica blockchain ledger.
 	Journal bool
+	// DataDir enables durable storage (implies Journal): replica i
+	// journals its ledger through a write-ahead log under
+	// DataDir/replica-i and restores height and application state from
+	// there on construction, so a cluster rebuilt on the same DataDir
+	// resumes where the previous one stopped.
+	DataDir string
+	// Durability selects the WAL sync policy when DataDir is set
+	// (default group commit).
+	Durability wal.SyncPolicy
+	// SnapshotEvery persists application checkpoints every N blocks when
+	// DataDir is set (see runtime.Config.SnapshotEvery).
+	SnapshotEvery uint64
 	// UnpredictableOrdering enables RCC's §IV permutation ordering.
 	UnpredictableOrdering bool
+}
+
+// ReplicaDir returns the data directory of replica i under base.
+func ReplicaDir(base string, i int) string {
+	return filepath.Join(base, fmt.Sprintf("replica-%d", i))
 }
 
 func (o *Options) defaults() error {
@@ -189,14 +208,27 @@ func NewCluster(opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := runtime.New(runtime.Config{
+		rcfg := runtime.Config{
 			ID:             types.ReplicaID(i),
 			Params:         params,
 			Machine:        m,
 			App:            opts.App(),
 			Journal:        opts.Journal,
+			Durability:     opts.Durability,
+			SnapshotEvery:  opts.SnapshotEvery,
 			ReplyToClients: true,
-		})
+		}
+		if opts.DataDir != "" {
+			rcfg.DataDir = ReplicaDir(opts.DataDir, i)
+		}
+		rep, err := runtime.New(rcfg)
+		if err != nil {
+			for j, prev := range c.replicas {
+				c.hub.Detach(types.ReplicaID(j))
+				prev.Stop()
+			}
+			return nil, fmt.Errorf("core: replica %d: %w", i, err)
+		}
 		rep.Attach(c.hub.AttachReplica(types.ReplicaID(i), rep))
 		c.replicas = append(c.replicas, rep)
 		c.machines = append(c.machines, m)

@@ -44,17 +44,25 @@ type Result struct {
 	TxnExecuted int
 }
 
+// Journal is where the engine appends executed blocks. *ledger.Ledger is
+// the in-memory implementation; the durable storage subsystem
+// (internal/store wired through internal/runtime) provides a WAL-backed
+// one. Pass an untyped nil to skip journalling.
+type Journal interface {
+	Append(batch *types.Batch, proof ledger.Proof, state types.Digest) *ledger.Block
+}
+
 // Engine applies ordered batches to an Application and journals them.
 type Engine struct {
 	app      Application
-	journal  *ledger.Ledger
+	journal  Journal
 	executed uint64
 }
 
-// NewEngine creates an engine over app, journalling into l (which may be
+// NewEngine creates an engine over app, journalling into j (which may be
 // nil to skip journalling, e.g. in micro-benchmarks).
-func NewEngine(app Application, l *ledger.Ledger) *Engine {
-	return &Engine{app: app, journal: l}
+func NewEngine(app Application, j Journal) *Engine {
+	return &Engine{app: app, journal: j}
 }
 
 // ExecuteBatch applies every transaction of batch in order and returns the
@@ -84,6 +92,11 @@ func (e *Engine) ExecuteBatch(batch *types.Batch, proof ledger.Proof) Result {
 
 // Executed returns the total number of transactions executed.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// Restore primes the executed-transaction counter after a restart replay.
+// The counter feeds ResultHash, so a restarted replica must resume it to
+// produce client replies identical to peers that never crashed.
+func (e *Engine) Restore(executed uint64) { e.executed = executed }
 
 // StateDigest exposes the application state digest.
 func (e *Engine) StateDigest() types.Digest { return e.app.StateDigest() }

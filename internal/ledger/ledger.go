@@ -116,10 +116,15 @@ func (l *Ledger) Head() *Block {
 	return l.blocks[len(l.blocks)-1]
 }
 
-// Verify walks the chain and checks every hash link. It returns an error
-// describing the first broken link, or nil when the chain is intact. The
-// ledger is immutable-by-convention; Verify is how tests and auditors check
-// the provenance property.
+// Verify walks the chain and checks every hash link, and that every block's
+// commit proof actually covers its batch: a non-zero Proof.Digest must equal
+// the recomputed batch digest, otherwise the proof certifies some other
+// proposal and the journal's provenance claim is void. (A zero Proof.Digest
+// marks an unproven block — tests and replayed genesis state — and is
+// exempt.) It returns an error describing the first broken link, or nil when
+// the chain is intact. The ledger is immutable-by-convention; Verify is how
+// tests, auditors, and restart recovery (store.DurableLedger) check the
+// provenance property.
 func (l *Ledger) Verify() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -130,6 +135,9 @@ func (l *Ledger) Verify() error {
 		}
 		if b.PrevHash != prev {
 			return fmt.Errorf("ledger: block %d prev-hash mismatch", i)
+		}
+		if !b.Proof.Digest.IsZero() && b.Proof.Digest != b.Batch.Digest() {
+			return fmt.Errorf("ledger: block %d proof digest does not cover its batch", i)
 		}
 		// Recompute the hash from scratch to catch mutation.
 		fresh := &Block{

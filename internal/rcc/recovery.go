@@ -295,6 +295,13 @@ func (r *Replica) maybeDynamicCheckpoint(round types.Round) {
 			ckp.ForceCheckpoint()
 		}
 	}
+	// A checkpoint everyone can agree on is also the cheapest durable
+	// recovery point: runtimes with a snapshot store persist the
+	// execution state here, so a crash-restart resumes from this round
+	// instead of replaying the whole journal.
+	if sink, ok := r.env.(sm.CheckpointSink); ok {
+		sink.PersistCheckpoint()
+	}
 }
 
 // handleSwitch installs the agreed reassignment schedule (§III-E): the old

@@ -18,8 +18,10 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/quorum"
 	"repro/internal/sm"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // Config parameterizes one replica process.
@@ -35,6 +37,26 @@ type Config struct {
 	App exec.Application
 	// Journal enables the blockchain ledger.
 	Journal bool
+	// DataDir enables the durable storage subsystem (implies Journal):
+	// every decided batch is journaled through a write-ahead log under
+	// this directory, and New restores ledger height and application
+	// state from disk before the replica starts — a restarted replica
+	// resumes at its pre-crash height with an identical head hash and
+	// state digest instead of demanding state transfer from peers.
+	DataDir string
+	// Durability selects the WAL sync policy when DataDir is set
+	// (default group commit). Note the journal append currently runs on
+	// the replica's event loop, where a lone appender pays a full fsync
+	// per decided block; moving the fsync wait off the loop (journal
+	// asynchronously, defer only the client replies to the commit point)
+	// is the planned follow-up that lets group commit amortize inside a
+	// single replica the way BenchmarkWALAppend shows across appenders.
+	Durability wal.SyncPolicy
+	// SnapshotEvery persists an application checkpoint every N decided
+	// blocks when DataDir is set and App implements store.Snapshotter
+	// (0 disables periodic checkpoints; RCC's dynamic checkpoints still
+	// persist on demand).
+	SnapshotEvery uint64
 	// QueueDepth bounds the inbound event queue (default 4096).
 	QueueDepth int
 	// ReplyToClients answers the clients of executed batches.
@@ -43,10 +65,11 @@ type Config struct {
 
 // Replica is one running replica process.
 type Replica struct {
-	cfg    Config
-	trans  transport.Transport
-	engine *exec.Engine
-	log    *ledger.Ledger
+	cfg     Config
+	trans   transport.Transport
+	engine  *exec.Engine
+	log     *ledger.Ledger
+	durable *store.DurableLedger
 
 	events chan event
 	timers struct {
@@ -62,6 +85,7 @@ type Replica struct {
 	mu        sync.Mutex
 	delivered uint64
 	executed  uint64
+	durErr    error
 }
 
 type event struct {
@@ -73,7 +97,12 @@ type event struct {
 }
 
 // New creates a replica process. Attach a transport with Attach, then Run.
-func New(cfg Config) *Replica {
+// With Config.DataDir set it opens the durable store, replays the
+// write-ahead log (truncating a torn tail, rejecting corruption), restores
+// the application to the journaled head state, and resumes the ledger at
+// its pre-crash height — so construction can fail when disk state is
+// damaged or inconsistent.
+func New(cfg Config) (*Replica, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4096
 	}
@@ -84,22 +113,80 @@ func New(cfg Config) *Replica {
 		start:   time.Now(),
 	}
 	r.timers.m = make(map[sm.TimerID]*time.Timer)
-	var l *ledger.Ledger
-	if cfg.Journal {
-		l = ledger.New()
+	var journal exec.Journal
+	if cfg.DataDir != "" {
+		dl, err := store.Open(cfg.DataDir, store.Options{Sync: cfg.Durability})
+		if err != nil {
+			return nil, err
+		}
+		txns, err := dl.RestoreApp(cfg.App)
+		if err != nil {
+			dl.Close()
+			return nil, err
+		}
+		r.durable = dl
+		r.log = dl.Memory()
+		journal = durableJournal{r}
+		r.engine = exec.NewEngine(cfg.App, journal)
+		r.engine.Restore(txns)
+		return r, nil
 	}
-	r.log = l
-	r.engine = exec.NewEngine(cfg.App, l)
-	return r
+	if cfg.Journal {
+		l := ledger.New()
+		r.log = l
+		journal = l
+	}
+	r.engine = exec.NewEngine(cfg.App, journal)
+	return r, nil
+}
+
+// durableJournal routes the engine's block appends through the durable
+// store. A WAL failure means the in-memory chain is ahead of disk; the
+// error sticks (DurabilityErr) so operators stop the replica instead of
+// running with a silent durability gap.
+type durableJournal struct{ r *Replica }
+
+func (j durableJournal) Append(batch *types.Batch, proof ledger.Proof, state types.Digest) *ledger.Block {
+	blk, err := j.r.durable.Append(batch, proof, state)
+	if err != nil {
+		j.r.setDurErr(err)
+	}
+	return blk
+}
+
+func (r *Replica) setDurErr(err error) {
+	r.mu.Lock()
+	if r.durErr == nil {
+		r.durErr = err
+	}
+	r.mu.Unlock()
+}
+
+// DurabilityErr returns the first journaling or checkpointing failure (nil
+// while the durable store is healthy or disabled).
+func (r *Replica) DurabilityErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.durErr
 }
 
 // Attach wires the transport (must precede Run).
 func (r *Replica) Attach(t transport.Transport) { r.trans = t }
 
-// Ledger returns the journal (nil unless Config.Journal).
+// Ledger returns the journal (nil unless Config.Journal or Config.DataDir).
 func (r *Replica) Ledger() *ledger.Ledger { return r.log }
 
-// Executed returns the number of executed transactions.
+// Durable returns the durable store (nil unless Config.DataDir).
+func (r *Replica) Durable() *store.DurableLedger { return r.durable }
+
+// StateDigest returns the application's state digest. The application is
+// single-threaded by contract: call this only on a replica that is not
+// running, or from inside Inspect.
+func (r *Replica) StateDigest() types.Digest { return r.engine.StateDigest() }
+
+// Executed returns the number of transactions executed by this process
+// (restored transactions are not re-counted; see the engine's Executed for
+// the chain total).
 func (r *Replica) Executed() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -181,6 +268,32 @@ func (r *Replica) Stop() {
 	if r.trans != nil {
 		r.trans.Close()
 	}
+	if r.durable != nil {
+		if err := r.durable.Close(); err != nil {
+			r.setDurErr(err)
+		}
+	}
+}
+
+// saveSnapshot persists an application checkpoint at the current chain
+// head. Must run on the event loop (the application is single-threaded).
+func (r *Replica) saveSnapshot() {
+	if r.durable == nil {
+		return
+	}
+	// After a journaling failure the in-memory chain runs ahead of disk;
+	// a checkpoint taken now would claim heights the WAL never stored and
+	// block the next restart. Stop checkpointing once durability is gone.
+	if r.DurabilityErr() != nil {
+		return
+	}
+	snapper, ok := r.cfg.App.(store.Snapshotter)
+	if !ok {
+		return
+	}
+	if err := r.durable.Snapshot(snapper.Snapshot()); err != nil {
+		r.setDurErr(err)
+	}
 }
 
 // replicaEnv implements sm.Env on top of the process.
@@ -236,7 +349,17 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 	r.mu.Lock()
 	r.executed += uint64(res.TxnExecuted)
 	r.mu.Unlock()
+	if r.cfg.SnapshotEvery > 0 && res.Block != nil &&
+		(res.Block.Height+1)%r.cfg.SnapshotEvery == 0 {
+		r.saveSnapshot()
+	}
 	if !r.cfg.ReplyToClients {
+		return
+	}
+	// A durable replica whose journal failed must not acknowledge
+	// transactions it can no longer persist: stay silent and let clients
+	// collect their f+1 replies from healthy replicas.
+	if r.DurabilityErr() != nil {
 		return
 	}
 	// One reply per client covered by the batch; f+1 identical replies
@@ -292,6 +415,12 @@ func (e *replicaEnv) Suspect(inst types.InstanceID, round types.Round) {
 	// Standalone machines route suspicion internally; RCC replicas never
 	// surface it to the runtime. Nothing to do.
 }
+
+// PersistCheckpoint implements sm.CheckpointSink: RCC's dynamic per-need
+// checkpoints (§III-D) double as durable recovery points. Runs on the event
+// loop (machines emit effects from their own loop), so touching the
+// application is safe.
+func (e *replicaEnv) PersistCheckpoint() { e.r.saveSnapshot() }
 
 func (e *replicaEnv) Logf(format string, args ...any) {}
 

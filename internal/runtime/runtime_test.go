@@ -25,7 +25,8 @@ func memCluster(t *testing.T, n int, machine func() sm.Machine) ([]*Replica, *tr
 	hub := transport.NewMemory()
 	reps := make([]*Replica, n)
 	for i := 0; i < n; i++ {
-		reps[i] = New(Config{
+		var err error
+		reps[i], err = New(Config{
 			ID:             types.ReplicaID(i),
 			Params:         params,
 			Machine:        machine(),
@@ -33,6 +34,9 @@ func memCluster(t *testing.T, n int, machine func() sm.Machine) ([]*Replica, *tr
 			Journal:        true,
 			ReplyToClients: true,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		reps[i].Attach(hub.AttachReplica(types.ReplicaID(i), reps[i]))
 	}
 	for _, r := range reps {
@@ -116,11 +120,14 @@ func TestClientRepliesCarryMatchingResults(t *testing.T) {
 func TestStopIsIdempotentAndClean(t *testing.T) {
 	params, _ := quorum.NewParams(4)
 	hub := transport.NewMemory()
-	r := New(Config{
+	r, err := New(Config{
 		ID: 0, Params: params,
 		Machine: pbft.New(pbft.Config{BatchSize: 1}),
 		App:     ycsb.NewStore(10),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	r.Attach(hub.AttachReplica(0, r))
 	r.Run()
 	r.Stop()
@@ -129,12 +136,15 @@ func TestStopIsIdempotentAndClean(t *testing.T) {
 
 func TestQueueBackpressureDoesNotDeadlockOnStop(t *testing.T) {
 	params, _ := quorum.NewParams(4)
-	r := New(Config{
+	r, err := New(Config{
 		ID: 0, Params: params,
 		Machine:    pbft.New(pbft.Config{BatchSize: 1}),
 		App:        ycsb.NewStore(10),
 		QueueDepth: 1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	r.Run()
 	done := make(chan struct{})
 	go func() {

@@ -28,7 +28,7 @@ func tcpCluster(t *testing.T, n int, secret string, machine func() sm.Machine) (
 	peers := make(map[types.ReplicaID]string)
 	for i := 0; i < n; i++ {
 		id := types.ReplicaID(i)
-		reps[i] = New(Config{
+		reps[i], err = New(Config{
 			ID:             id,
 			Params:         params,
 			Machine:        machine(),
@@ -36,6 +36,9 @@ func tcpCluster(t *testing.T, n int, secret string, machine func() sm.Machine) (
 			Journal:        true,
 			ReplyToClients: true,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		var auth crypto.Authenticator
 		if secret != "" {
 			auth = crypto.NewMAC(crypto.PartyID(id), []byte(secret))

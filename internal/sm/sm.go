@@ -162,3 +162,12 @@ type Instance interface {
 type Suspector interface {
 	SuspectClientNeglect(c types.ClientID)
 }
+
+// CheckpointSink is optionally implemented by an Env whose runtime can
+// persist execution-state checkpoints (the durable snapshot store). RCC
+// calls it when a dynamic per-need checkpoint runs (§III-D), so the
+// in-protocol catch-up point also becomes a crash-restart recovery point on
+// disk. Runtimes without durable storage simply do not implement it.
+type CheckpointSink interface {
+	PersistCheckpoint()
+}

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/ledger"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// ErrSnapshotMismatch reports a checkpoint that disagrees with the journal
+// it sits next to: it claims a height the WAL never reached, or state the
+// chain never produced. Either the data directory was assembled from two
+// different replicas or the storage lied; recovery must not guess.
+var ErrSnapshotMismatch = errors.New("store: snapshot disagrees with replayed WAL")
+
+// Options parameterizes a DurableLedger.
+type Options struct {
+	// SegmentBytes is the WAL roll threshold (default wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// Sync is the WAL durability policy (default group commit).
+	Sync wal.SyncPolicy
+	// KeepSnapshots bounds retained checkpoint generations (default 2).
+	KeepSnapshots int
+}
+
+// DurableLedger wraps the in-memory hash-chained ledger with durability:
+// every appended block is journaled through the write-ahead log, and Open
+// rebuilds the chain from disk — replaying the WAL, truncating a torn tail,
+// re-auditing the rebuilt chain (ledger.Verify, including commit-proof
+// digests), and cross-checking the latest snapshot against it.
+type DurableLedger struct {
+	mu    sync.Mutex
+	mem   *ledger.Ledger
+	log   *wal.Log
+	snaps *SnapshotStore
+	snap  *Snapshot // latest consistent checkpoint found at Open, may be nil
+}
+
+// Open opens (creating if necessary) the durable ledger rooted at dir. The
+// WAL lives in dir/wal, checkpoints in dir/checkpoints.
+func Open(dir string, opts Options) (*DurableLedger, error) {
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		Sync:         opts.Sync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &DurableLedger{mem: ledger.New(), log: log}
+	if err := d.replay(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	if d.snaps, err = OpenSnapshots(filepath.Join(dir, "checkpoints"), opts.KeepSnapshots); err != nil {
+		log.Close()
+		return nil, err
+	}
+	snap, err := d.snaps.Latest()
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if snap != nil {
+		if err := d.checkSnapshot(snap); err != nil {
+			log.Close()
+			return nil, err
+		}
+		d.snap = snap
+	}
+	return d, nil
+}
+
+// replay rebuilds the in-memory chain from the WAL and re-audits it.
+func (d *DurableLedger) replay() error {
+	if err := d.log.Replay(func(idx uint64, payload []byte) error {
+		blk, err := ledger.DecodeBlock(payload)
+		if err != nil {
+			return fmt.Errorf("store: wal record %d: %w", idx, err)
+		}
+		got := d.mem.Append(blk.Batch, blk.Proof, blk.StateHash)
+		// The rebuilt block must land at the journaled height with the
+		// journaled hash — anything else means records were reordered
+		// or the chain prefix differs from what this block was chained
+		// onto before the crash.
+		if got.Height != blk.Height || got.Hash() != blk.Hash() {
+			return fmt.Errorf("store: wal record %d rebuilds height %d (hash %v), journal says height %d (hash %v)",
+				idx, got.Height, got.Hash(), blk.Height, blk.Hash())
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return d.mem.Verify()
+}
+
+// checkSnapshot cross-checks a checkpoint against the replayed chain.
+func (d *DurableLedger) checkSnapshot(snap *Snapshot) error {
+	if snap.Height > d.mem.Height() {
+		return fmt.Errorf("%w: checkpoint at height %d but WAL replays only %d blocks",
+			ErrSnapshotMismatch, snap.Height, d.mem.Height())
+	}
+	if snap.Height == 0 {
+		return nil
+	}
+	blk := d.mem.Get(snap.Height - 1)
+	if blk.Hash() != snap.HeadHash || blk.StateHash != snap.StateDigest {
+		return fmt.Errorf("%w: checkpoint at height %d does not match the journaled block",
+			ErrSnapshotMismatch, snap.Height)
+	}
+	return nil
+}
+
+// Memory returns the in-memory ledger view (reads: Height, Get, Head,
+// Verify). Mutate only through DurableLedger.Append.
+func (d *DurableLedger) Memory() *ledger.Ledger { return d.mem }
+
+// LatestSnapshot returns the checkpoint Open validated, or nil.
+func (d *DurableLedger) LatestSnapshot() *Snapshot { return d.snap }
+
+// Append journals the block in the WAL and appends it to the in-memory
+// chain. It returns once the record is durable under the log's sync policy.
+// The lock spans both appends so WAL record order always equals chain
+// order, whatever goroutine calls here (the WAL itself still group-commits
+// across logs). An error is fatal for the replica: the in-memory chain may
+// then be ahead of disk, so the caller must stop journaling rather than
+// continue with a silent durability gap.
+func (d *DurableLedger) Append(batch *types.Batch, proof ledger.Proof, state types.Digest) (*ledger.Block, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	blk := d.mem.Append(batch, proof, state)
+	if _, err := d.log.Append(ledger.EncodeBlock(blk)); err != nil {
+		return blk, err
+	}
+	return blk, nil
+}
+
+// Snapshot persists appState as a checkpoint at the current chain head
+// (§III-D durable counterpart of RCC's dynamic checkpoints). It is a no-op
+// on an empty chain. The WAL is synced first so a durable checkpoint is
+// never ahead of the durable journal — otherwise a crash under
+// wal.SyncNone (buffered journal, fsynced checkpoint) would leave a data
+// dir that can never reopen.
+func (d *DurableLedger) Snapshot(appState []byte) error {
+	d.mu.Lock()
+	head := d.mem.Head()
+	d.mu.Unlock()
+	if head == nil {
+		return nil
+	}
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	snap := &Snapshot{
+		Height:      head.Height + 1,
+		HeadHash:    head.Hash(),
+		StateDigest: head.StateHash,
+		AppState:    appState,
+	}
+	if err := d.snaps.Save(snap); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.snap = snap
+	d.mu.Unlock()
+	return nil
+}
+
+// RestoreApp brings app to the chain head's state: from the latest
+// consistent checkpoint when app implements Snapshotter (re-executing only
+// the blocks after it), otherwise by re-executing the whole journal. It
+// verifies the final application digest against the head block's StateHash
+// and returns the total number of transactions the chain carries (for
+// priming executed-transaction counters).
+func (d *DurableLedger) RestoreApp(app exec.Application) (uint64, error) {
+	var from uint64
+	if snapper, ok := app.(Snapshotter); ok && d.snap != nil {
+		if err := snapper.Restore(d.snap.AppState); err != nil {
+			return 0, fmt.Errorf("store: restoring checkpoint at height %d: %w", d.snap.Height, err)
+		}
+		if app.StateDigest() != d.snap.StateDigest {
+			return 0, fmt.Errorf("%w: restored application digest differs at height %d",
+				ErrSnapshotMismatch, d.snap.Height)
+		}
+		from = d.snap.Height
+	}
+	for h := from; h < d.mem.Height(); h++ {
+		blk := d.mem.Get(h)
+		for i := range blk.Batch.Txns {
+			app.Execute(blk.Batch.Txns[i])
+		}
+		if app.StateDigest() != blk.StateHash {
+			return 0, fmt.Errorf("store: replay diverged at height %d: application digest does not match the journaled StateHash", h)
+		}
+	}
+	return d.mem.TxnCount(), nil
+}
+
+// Sync forces all journaled blocks to durable storage.
+func (d *DurableLedger) Sync() error { return d.log.Sync() }
+
+// WAL exposes the underlying log (stats, pruning, tests).
+func (d *DurableLedger) WAL() *wal.Log { return d.log }
+
+// Close flushes and closes the journal.
+func (d *DurableLedger) Close() error { return d.log.Close() }

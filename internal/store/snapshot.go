@@ -1,0 +1,209 @@
+// Package store is the durable storage subsystem: it persists the
+// blockchain ledger through a segmented write-ahead log (internal/wal) and
+// execution-state checkpoints through an atomic snapshot store, and rebuilds
+// both on restart with open-replay-truncate semantics. See doc.go of
+// internal/wal for the on-disk log format and crash taxonomy.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+const (
+	snapMagic  = "RCCCKP1\n"
+	snapPrefix = "ckp-"
+	snapSuffix = ".ckp"
+
+	// DefaultKeepSnapshots is how many generations Save retains.
+	DefaultKeepSnapshots = 2
+)
+
+// Snapshot is one durable execution-state checkpoint: the application state
+// bytes at a ledger height, bound to that height's block hash and state
+// digest so a restart can prove the snapshot belongs to the journal it sits
+// next to.
+type Snapshot struct {
+	// Height is the ledger height the snapshot was taken at (the number
+	// of blocks applied; the covering block is Height-1).
+	Height uint64
+	// HeadHash is the hash of block Height-1.
+	HeadHash types.Digest
+	// StateDigest is block Height-1's StateHash — the application's own
+	// digest after applying that block.
+	StateDigest types.Digest
+	// AppState is the application's serialized state (Snapshotter).
+	AppState []byte
+}
+
+// Snapshotter is the optional capability an exec.Application implements to
+// participate in checkpoint persistence. Applications without it still
+// recover — by re-executing the whole journal instead of resuming from the
+// latest checkpoint.
+type Snapshotter interface {
+	// Snapshot serializes the full application state deterministically.
+	Snapshot() []byte
+	// Restore replaces the application state with a Snapshot() image.
+	Restore(data []byte) error
+}
+
+// SnapshotStore persists snapshots as individual files, one per
+// checkpoint, written atomically (tmp + fsync + rename).
+type SnapshotStore struct {
+	dir  string
+	keep int
+}
+
+// OpenSnapshots opens (creating if necessary) a snapshot directory. keep
+// bounds the retained generations (<=0 selects DefaultKeepSnapshots).
+func OpenSnapshots(dir string, keep int) (*SnapshotStore, error) {
+	if keep <= 0 {
+		keep = DefaultKeepSnapshots
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &SnapshotStore{dir: dir, keep: keep}, nil
+}
+
+func (s *SnapshotStore) path(height uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%016x%s", snapPrefix, height, snapSuffix))
+}
+
+func encodeSnapshot(snap *Snapshot) []byte {
+	buf := make([]byte, 0, len(snapMagic)+8+32+32+4+len(snap.AppState)+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, snap.Height)
+	buf = append(buf, snap.HeadHash[:]...)
+	buf = append(buf, snap.StateDigest[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(snap.AppState)))
+	buf = append(buf, snap.AppState...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func decodeSnapshot(buf []byte) (*Snapshot, error) {
+	const fixed = len(snapMagic) + 8 + 32 + 32 + 4 + 4
+	if len(buf) < fixed {
+		return nil, errors.New("store: snapshot file too short")
+	}
+	body, sum := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, errors.New("store: snapshot checksum mismatch")
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return nil, errors.New("store: snapshot bad magic")
+	}
+	body = body[len(snapMagic):]
+	snap := &Snapshot{Height: binary.BigEndian.Uint64(body)}
+	body = body[8:]
+	copy(snap.HeadHash[:], body)
+	body = body[32:]
+	copy(snap.StateDigest[:], body)
+	body = body[32:]
+	n := int(binary.BigEndian.Uint32(body))
+	body = body[4:]
+	if len(body) != n {
+		return nil, fmt.Errorf("store: snapshot app state is %d bytes, header says %d", len(body), n)
+	}
+	if n > 0 {
+		snap.AppState = append([]byte(nil), body...)
+	}
+	return snap, nil
+}
+
+// Save persists snap atomically and prunes generations beyond the retention
+// bound. A crash at any point leaves either the previous set of snapshots
+// or the previous set plus the complete new one — never a torn file under a
+// final name.
+func (s *SnapshotStore) Save(snap *Snapshot) error {
+	tmp, err := os.CreateTemp(s.dir, "tmp-ckp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(encodeSnapshot(snap)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(snap.Height)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if dir, err := os.Open(s.dir); err == nil {
+		_ = dir.Sync() // make the rename itself durable
+		dir.Close()
+	}
+	return s.prune()
+}
+
+func (s *SnapshotStore) heights() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var hs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		h, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs, nil
+}
+
+func (s *SnapshotStore) prune() error {
+	hs, err := s.heights()
+	if err != nil {
+		return err
+	}
+	for len(hs) > s.keep {
+		if err := os.Remove(s.path(hs[0])); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		hs = hs[1:]
+	}
+	return nil
+}
+
+// Latest returns the newest readable snapshot, or (nil, nil) when none
+// exists. Unreadable generations (bitrot) are skipped in favor of older
+// ones — the WAL replay covers the gap.
+func (s *SnapshotStore) Latest() (*Snapshot, error) {
+	hs, err := s.heights()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(hs) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(s.path(hs[i]))
+		if err != nil {
+			continue
+		}
+		snap, err := decodeSnapshot(data)
+		if err != nil {
+			continue
+		}
+		return snap, nil
+	}
+	return nil, nil
+}

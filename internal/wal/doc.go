@@ -1,0 +1,68 @@
+// Package wal implements the segmented, checksummed, group-commit
+// write-ahead log underlying the durable storage subsystem
+// (internal/store). It persists the blockchain ledger the paper's replicas
+// maintain (§V-B) so a restarted replica resumes from disk instead of
+// demanding full state transfer from its peers.
+//
+// # On-disk format
+//
+// A log is a directory of segment files named
+//
+//	wal-<first-index>.wal        e.g. wal-0000000000000001.wal
+//
+// where <first-index> is the 1-based index of the segment's first record,
+// zero-padded to 16 hex digits so lexicographic order is index order. Each
+// segment starts with a 16-byte header:
+//
+//	offset  size  field
+//	0       8     magic "RCCWAL1\n"
+//	8       8     first record index, big-endian uint64
+//
+// followed by a sequence of records framed as
+//
+//	offset  size  field
+//	0       4     payload length, big-endian uint32
+//	4       4     CRC-32 (IEEE) of the payload
+//	8       n     payload
+//
+// Records never span segments: when appending a record would push the
+// current segment past Options.SegmentBytes, the segment is flushed, synced,
+// and closed, and a fresh segment starts with the next index.
+//
+// # Recovery semantics (open-replay-truncate)
+//
+// Open scans every segment in index order and validates each record's frame
+// and checksum. Damage is classified by where it sits:
+//
+//   - A record that extends past the end of the LAST segment, or whose
+//     checksum fails on the very last record of the last segment, is a torn
+//     write — the tail of an append that lost a race with the crash. The
+//     segment is truncated to the last intact record and appends resume
+//     from there. Torn tails are expected and silent (reported via
+//     Log.Truncated for tests and operators).
+//
+//   - Any other damage — a checksum mismatch with intact records after it,
+//     a short record in a non-final segment, a bad segment header — cannot
+//     be the trailing edge of a crash and means the storage itself lied.
+//     Open fails with ErrCorrupt; recovery then requires state transfer
+//     from peers, never a silent gap in the journal.
+//
+// # Group commit
+//
+// Durability policy is per-log (Options.Sync):
+//
+//   - SyncGroup (default): appenders publish their record under the write
+//     lock, then wait on a shared commit point. One appender becomes the
+//     sync leader and issues a single fdatasync covering every record
+//     written so far; appenders that arrive while that fsync is in flight
+//     are covered by the NEXT fsync, issued immediately after by the next
+//     leader. Concurrent appenders therefore amortize the ~ms fsync cost
+//     across the whole group (see BenchmarkWALAppend) while every Append
+//     still returns only after its record is durable.
+//
+//   - SyncAlways: one fsync per record, serialized. The safe, slow
+//     baseline the benchmark compares against.
+//
+//   - SyncNone: no explicit fsync; durability is left to the OS page
+//     cache. For tests and throwaway runs.
+package wal

@@ -1,0 +1,688 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	magic       = "RCCWAL1\n"
+	headerSize  = 16 // magic + first-index
+	frameSize   = 8  // payload length + CRC-32
+	segPrefix   = "wal-"
+	segSuffix   = ".wal"
+	maxPayload  = 1 << 30
+	writeBuffer = 256 << 10
+
+	// DefaultSegmentBytes is the roll threshold when Options.SegmentBytes
+	// is zero.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// SyncPolicy selects when appends become durable. See the package
+// documentation for the trade-offs.
+type SyncPolicy int
+
+const (
+	// SyncGroup batches fsyncs across concurrent appenders (group
+	// commit); every Append still returns only after its record is
+	// durable. The default.
+	SyncGroup SyncPolicy = iota
+	// SyncAlways issues one fsync per record.
+	SyncAlways
+	// SyncNone never fsyncs explicitly; durability is best-effort.
+	SyncNone
+)
+
+// Options parameterizes a log.
+type Options struct {
+	// SegmentBytes is the size at which segments roll (default 64 MiB).
+	SegmentBytes int64
+	// Sync is the durability policy (default SyncGroup).
+	Sync SyncPolicy
+}
+
+// ErrCorrupt reports damage that cannot be a torn tail: the log is not
+// trustworthy and must be rebuilt (e.g. by state transfer from peers).
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+type segment struct {
+	path  string
+	first uint64 // index of the segment's first record
+	count uint64 // records in the segment
+}
+
+func (s *segment) lastIndex() uint64 { return s.first + s.count - 1 }
+
+// Log is a segmented write-ahead log. Append, Sync, and Close are safe for
+// concurrent use; Replay must not run concurrently with Append.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	segments  []segment
+	f         *os.File      // active (last) segment
+	w         *bufio.Writer // buffers writes into f
+	size      int64         // bytes written to the active segment
+	next      uint64        // index the next Append receives
+	closed    bool
+	fatal     error // sticky fsync failure: the kernel may have dropped dirty pages
+	truncated int   // torn records dropped at Open
+
+	appends atomic.Uint64 // records appended this process
+	syncs   atomic.Uint64 // fsyncs issued this process
+
+	gc struct {
+		mu      sync.Mutex
+		synced  uint64       // highest index known durable
+		syncing bool         // a group leader is at work
+		pending *commitBatch // waiters for the leader's next commit point
+		err     error        // sticky fsync failure
+	}
+}
+
+// commitBatch is one group-commit generation: every waiter whose record
+// precedes the leader's next flush blocks on done; the leader publishes the
+// outcome and closes it — a single wakeup with no lock convoy.
+type commitBatch struct {
+	done   chan struct{}
+	target uint64
+	err    error
+}
+
+// Open opens (creating if necessary) the log in dir, validates every
+// segment, truncates a torn tail, and positions the log to append after the
+// last intact record. It returns ErrCorrupt when damage mid-log makes the
+// journal untrustworthy.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, next: 1}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := range segs {
+		if i == 0 {
+			// A pruned log legitimately starts past index 1; only gaps
+			// BETWEEN segments are corruption.
+			l.next = segs[0].first
+		}
+		res, err := l.scanSegment(&segs[i], i == len(segs)-1, nil)
+		if err != nil {
+			return nil, err
+		}
+		if res.tornAt >= 0 {
+			// Torn tail: drop the partial record(s) and reclaim the
+			// space. Only legal in the last segment; scanSegment
+			// already rejected everything else.
+			if err := truncateSegment(segs[i].path, res.tornAt); err != nil {
+				return nil, err
+			}
+			l.truncated++
+		}
+		segs[i].count = res.count
+		if segs[i].first != l.next {
+			return nil, fmt.Errorf("%w: segment %s starts at index %d, want %d",
+				ErrCorrupt, filepath.Base(segs[i].path), segs[i].first, l.next)
+		}
+		l.next = segs[i].first + segs[i].count
+	}
+	// A crash can leave a last segment too short to even hold its header;
+	// nothing durable was in it, so recreate it below.
+	if n := len(segs); n > 0 && segs[n-1].count == 0 && segs[n-1].first == l.next {
+		if fi, err := os.Stat(segs[n-1].path); err == nil && fi.Size() < headerSize {
+			if err := os.Remove(segs[n-1].path); err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			segs = segs[:n-1]
+		}
+	}
+	l.segments = segs
+
+	if len(l.segments) == 0 {
+		if err := l.rollLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		active := &l.segments[len(l.segments)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(fi.Size(), io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f, l.w, l.size = f, bufio.NewWriterSize(f, writeBuffer), fi.Size()
+	}
+	l.gc.synced = l.next - 1
+	return l, nil
+}
+
+// listSegments returns the segment files of dir in index order, with first
+// indexes parsed from the names.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: unparseable segment name %q", ErrCorrupt, name)
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+type scanResult struct {
+	count  uint64
+	tornAt int64 // file offset of the torn tail, -1 when intact
+}
+
+// scanSegment validates seg record by record, invoking fn (when non-nil)
+// with each intact payload. Damage in the last segment's tail position is
+// reported via tornAt; any other damage is ErrCorrupt.
+func (l *Log) scanSegment(seg *segment, isLast bool, fn func(index uint64, payload []byte) error) (scanResult, error) {
+	res := scanResult{tornAt: -1}
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return res, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return res, fmt.Errorf("wal: %w", err)
+	}
+	size := fi.Size()
+	if size < headerSize {
+		if isLast {
+			res.tornAt = 0
+			return res, nil
+		}
+		return res, fmt.Errorf("%w: segment %s shorter than its header", ErrCorrupt, filepath.Base(seg.path))
+	}
+	r := bufio.NewReaderSize(f, writeBuffer)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return res, fmt.Errorf("wal: %w", err)
+	}
+	if string(hdr[:8]) != magic {
+		return res, fmt.Errorf("%w: segment %s has bad magic", ErrCorrupt, filepath.Base(seg.path))
+	}
+	if first := binary.BigEndian.Uint64(hdr[8:]); first != seg.first {
+		return res, fmt.Errorf("%w: segment %s header says first index %d", ErrCorrupt, filepath.Base(seg.path), first)
+	}
+
+	var frame [frameSize]byte
+	var payload []byte
+	off := int64(headerSize)
+	for off < size {
+		torn := func() (scanResult, error) {
+			if !isLast {
+				return res, fmt.Errorf("%w: segment %s damaged at offset %d with segments after it",
+					ErrCorrupt, filepath.Base(seg.path), off)
+			}
+			res.tornAt = off
+			return res, nil
+		}
+		if size-off < frameSize {
+			return torn() // header cut off mid-write
+		}
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			return res, fmt.Errorf("wal: %w", err)
+		}
+		n := int64(binary.BigEndian.Uint32(frame[:4]))
+		sum := binary.BigEndian.Uint32(frame[4:])
+		if n > maxPayload || off+frameSize+n > size {
+			return torn() // payload cut off mid-write (or garbage length)
+		}
+		if int64(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return res, fmt.Errorf("wal: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if isLast && off+frameSize+n == size {
+				// The very last record of the log: a payload only
+				// partially flushed before the crash.
+				res.tornAt = off
+				return res, nil
+			}
+			return res, fmt.Errorf("%w: crc mismatch in %s at offset %d (record %d)",
+				ErrCorrupt, filepath.Base(seg.path), off, seg.first+res.count)
+		}
+		if fn != nil {
+			if err := fn(seg.first+res.count, payload); err != nil {
+				return res, err
+			}
+		}
+		res.count++
+		off += frameSize + n
+	}
+	return res, nil
+}
+
+func truncateSegment(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// rollLocked flushes, syncs, and closes the active segment and starts a
+// fresh one whose first index is l.next. Caller holds l.mu.
+func (l *Log) rollLocked() error {
+	if l.f != nil {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.syncs.Add(1)
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		// Everything in the closed segment is durable now.
+		l.gc.mu.Lock()
+		if prev := l.next - 1; prev > l.gc.synced {
+			l.gc.synced = prev
+		}
+		l.gc.mu.Unlock()
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, l.next, segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:], magic)
+	binary.BigEndian.PutUint64(hdr[8:], l.next)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.segments = append(l.segments, segment{path: path, first: l.next})
+	l.f, l.w, l.size = f, bufio.NewWriterSize(f, writeBuffer), headerSize
+	return nil
+}
+
+// Append writes payload as the next record and returns its 1-based index.
+// It returns once the record is durable under the log's sync policy.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if int64(len(payload)) > maxPayload {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.fatal != nil {
+		err := l.fatal
+		l.mu.Unlock()
+		return 0, err
+	}
+	if l.size+frameSize+int64(len(payload)) > l.opts.SegmentBytes && l.size > headerSize {
+		if err := l.rollLocked(); err != nil {
+			l.fatal = err // mid-roll failures leave the log unusable too
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	var frame [frameSize]byte
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(frame[:]); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	idx := l.next
+	l.next++
+	l.size += frameSize + int64(len(payload))
+	l.segments[len(l.segments)-1].count++
+	l.appends.Add(1)
+
+	switch l.opts.Sync {
+	case SyncNone:
+		l.mu.Unlock()
+		return idx, nil
+	case SyncAlways:
+		err := l.syncLocked()
+		l.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return idx, nil
+	default:
+		l.mu.Unlock()
+		if err := l.waitDurable(idx); err != nil {
+			return 0, err
+		}
+		return idx, nil
+	}
+}
+
+// waitDurable implements group commit: the first appender to find no
+// leader at work becomes the leader; everyone else joins the pending batch
+// and blocks on its channel. The leader yields once so concurrently-running
+// appenders finish their writes, flushes under the write lock, fsyncs
+// OUTSIDE it (appenders keep writing while the disk works), publishes the
+// commit point, and keeps going while new waiters have piled up — so every
+// fsync covers a whole generation of records and waiters wake without a
+// lock convoy.
+func (l *Log) waitDurable(idx uint64) error {
+	gc := &l.gc
+	for {
+		gc.mu.Lock()
+		if gc.synced >= idx {
+			gc.mu.Unlock()
+			return nil
+		}
+		if gc.err != nil {
+			err := gc.err
+			gc.mu.Unlock()
+			return err
+		}
+		if gc.syncing {
+			b := gc.pending
+			if b == nil {
+				b = &commitBatch{done: make(chan struct{})}
+				gc.pending = b
+			}
+			gc.mu.Unlock()
+			<-b.done
+			if b.err == nil && b.target >= idx {
+				return nil
+			}
+			continue // re-examine under the lock (error or not yet covered)
+		}
+		gc.syncing = true
+		gc.mu.Unlock()
+
+		for {
+			// Let appenders that are already running reach the buffer so
+			// this commit point covers them too.
+			runtime.Gosched()
+
+			gc.mu.Lock()
+			b := gc.pending
+			gc.pending = nil
+			gc.mu.Unlock()
+
+			l.mu.Lock()
+			var target uint64
+			var err error
+			var f *os.File
+			if l.closed {
+				err = ErrClosed
+			} else {
+				target = l.next - 1 // covers every record written so far
+				if ferr := l.w.Flush(); ferr != nil {
+					err = fmt.Errorf("wal: %w", ferr)
+				}
+				f = l.f
+			}
+			l.mu.Unlock()
+			if err == nil && f != nil {
+				// A segment roll or Close may race us and close f, but
+				// both fsync before closing, so ErrClosed means "already
+				// durable".
+				l.syncs.Add(1)
+				if serr := f.Sync(); serr != nil && !errors.Is(serr, os.ErrClosed) {
+					err = fmt.Errorf("wal: %w", serr)
+					l.mu.Lock()
+					if l.fatal == nil {
+						l.fatal = err // poison future appends too (fsyncgate)
+					}
+					l.mu.Unlock()
+				}
+			}
+
+			gc.mu.Lock()
+			var orphan *commitBatch
+			if err != nil {
+				if gc.err == nil {
+					gc.err = err
+				}
+				// Don't strand waiters that piled up during the failed
+				// fsync: hand them the error too.
+				orphan, gc.pending = gc.pending, nil
+			} else if target > gc.synced {
+				gc.synced = target
+			}
+			more := gc.pending != nil && err == nil
+			if !more {
+				gc.syncing = false
+			}
+			covered := gc.synced >= idx // e.g. Close's final sync beat us
+			gc.mu.Unlock()
+			if b != nil {
+				b.target, b.err = target, err
+				close(b.done)
+			}
+			if orphan != nil {
+				orphan.err = err
+				close(orphan.done)
+			}
+			if err != nil {
+				if covered {
+					return nil
+				}
+				return err
+			}
+			if !more {
+				return nil // target covers the leader's own record
+			}
+		}
+	}
+}
+
+// syncLocked flushes the write buffer and fsyncs the active segment. A
+// failure is sticky: after a failed fsync the kernel may have dropped the
+// dirty pages (fsyncgate), so no later append may be reported durable.
+// Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		l.fatal = fmt.Errorf("wal: %w", err)
+		return l.fatal
+	}
+	l.syncs.Add(1)
+	if err := l.f.Sync(); err != nil {
+		l.fatal = fmt.Errorf("wal: %w", err)
+		return l.fatal
+	}
+	return nil
+}
+
+// Sync forces everything appended so far to durable storage regardless of
+// the sync policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.fatal != nil {
+		return l.fatal
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	synced := l.next - 1
+	l.gc.mu.Lock()
+	if synced > l.gc.synced {
+		l.gc.synced = synced
+	}
+	l.gc.mu.Unlock()
+	return nil
+}
+
+// Replay streams every record to fn in index order. It re-reads from disk,
+// so it reflects exactly what a restart would recover. Replay must not run
+// concurrently with Append.
+func (l *Log) Replay(fn func(index uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: %w", err)
+	}
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+	for i := range segs {
+		if _, err := l.scanSegment(&segs[i], i == len(segs)-1, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prune deletes whole segments whose every record index is below keepFrom.
+// The active segment is never deleted. Partial segments are kept: pruning
+// is a space reclaim, not a truncation.
+func (l *Log) Prune(keepFrom uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	kept := l.segments[:0]
+	for i := range l.segments {
+		s := l.segments[i]
+		if i < len(l.segments)-1 && s.count > 0 && s.lastIndex() < keepFrom {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segments = kept
+	return nil
+}
+
+// FirstIndex returns the index of the oldest retained record (1 when the
+// log has never been pruned), and 0 when the log is empty.
+func (l *Log) FirstIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.segments {
+		if l.segments[i].count > 0 {
+			return l.segments[i].first
+		}
+	}
+	return 0
+}
+
+// LastIndex returns the index of the newest record, 0 when empty.
+func (l *Log) LastIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segments)
+}
+
+// Truncated reports how many torn tail records Open dropped.
+func (l *Log) Truncated() int { return l.truncated }
+
+// Stats reports the appended-record and issued-fsync counts of this
+// process — the ratio is the group-commit amortization factor.
+func (l *Log) Stats() (appends, syncs uint64) {
+	return l.appends.Load(), l.syncs.Load()
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes, syncs, and closes the log. Further appends fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	synced := l.next - 1
+	l.closed = true
+	cerr := l.f.Close()
+	l.mu.Unlock()
+
+	l.gc.mu.Lock()
+	if err == nil && synced > l.gc.synced {
+		l.gc.synced = synced
+	}
+	if l.gc.err == nil {
+		l.gc.err = ErrClosed
+	}
+	// A pending batch can only exist while a leader is at work; that
+	// leader observes l.closed and wakes it, so nothing to drain here.
+	l.gc.mu.Unlock()
+
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: %w", cerr)
+	}
+	return nil
+}

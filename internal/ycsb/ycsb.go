@@ -122,6 +122,43 @@ func (s *Store) StateDigest() types.Digest {
 	return types.Hash(buf)
 }
 
+// Snapshot serializes the full table for checkpoint persistence
+// (store.Snapshotter): record count and fingerprints plus the operation
+// counters, so a restored replica's StateDigest matches exactly.
+func (s *Store) Snapshot() []byte {
+	buf := make([]byte, 0, 8*(3+len(s.records)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(s.records)))
+	for _, r := range s.records {
+		buf = binary.BigEndian.AppendUint64(buf, r)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, s.writes)
+	return binary.BigEndian.AppendUint64(buf, s.reads)
+}
+
+// Restore replaces the table with a Snapshot image (store.Snapshotter).
+func (s *Store) Restore(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("ycsb: short snapshot: %d bytes", len(data))
+	}
+	n := binary.BigEndian.Uint64(data)
+	data = data[8:]
+	if uint64(len(data)) != 8*(n+2) {
+		return fmt.Errorf("ycsb: snapshot claims %d records but carries %d bytes", n, len(data))
+	}
+	records := make([]uint64, n)
+	var sum uint64
+	for i := range records {
+		records[i] = binary.BigEndian.Uint64(data)
+		sum += records[i]
+		data = data[8:]
+	}
+	s.records = records
+	s.stateSum = sum
+	s.writes = binary.BigEndian.Uint64(data)
+	s.reads = binary.BigEndian.Uint64(data[8:])
+	return nil
+}
+
 func fingerprint(b []byte) uint64 {
 	var h uint64 = 14695981039346656037
 	for _, c := range b {
