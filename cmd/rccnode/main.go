@@ -63,6 +63,9 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable storage directory: journal decided blocks through a WAL and resume from it on restart")
 		syncMode = flag.String("sync", "group", "WAL durability with -data-dir: group (batched fsync), always (fsync per block), none")
 		snapEach = flag.Uint64("snapshot-every", 1024, "persist an application checkpoint every N blocks with -data-dir (0 off)")
+		asyncJnl = flag.Bool("async-journal", true, "pipeline WAL fsyncs off the consensus event loop: client acks wait for durability, many blocks share each fsync")
+		jnlQueue = flag.Int("journal-queue", 0, "async journal: max blocks executed but not yet durable before execution back-pressures (0 = default 1024)")
+		jnlBatch = flag.Int64("journal-batch-bytes", 0, "async journal: max WAL bytes per fsync batch (0 = default 8 MiB)")
 	)
 	flag.Parse()
 
@@ -95,6 +98,12 @@ func main() {
 		durability = wal.SyncGroup
 	case "always":
 		durability = wal.SyncAlways
+		if *asyncJnl {
+			// "always" is an explicit request for one fsync per block;
+			// the async committer would silently batch them instead.
+			log.Printf("rccnode: -sync always requests a per-block fsync, disabling -async-journal")
+			*asyncJnl = false
+		}
 	case "none":
 		durability = wal.SyncNone
 	default:
@@ -102,15 +111,18 @@ func main() {
 	}
 
 	rep, err := runtime.New(runtime.Config{
-		ID:             types.ReplicaID(*id),
-		Params:         params,
-		Machine:        machine,
-		App:            ycsb.NewStore(*records),
-		Journal:        true,
-		DataDir:        *dataDir,
-		Durability:     durability,
-		SnapshotEvery:  *snapEach,
-		ReplyToClients: true,
+		ID:                   types.ReplicaID(*id),
+		Params:               params,
+		Machine:              machine,
+		App:                  ycsb.NewStore(*records),
+		Journal:              true,
+		DataDir:              *dataDir,
+		Durability:           durability,
+		AsyncJournal:         *asyncJnl,
+		JournalQueueDepth:    *jnlQueue,
+		JournalMaxBatchBytes: *jnlBatch,
+		SnapshotEvery:        *snapEach,
+		ReplyToClients:       true,
 	})
 	if err != nil {
 		log.Fatalf("rccnode: opening durable state: %v", err)

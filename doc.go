@@ -18,10 +18,30 @@
 // the application from the latest checkpoint, and resumes at its pre-crash
 // ledger height with an identical head hash — no state transfer from
 // peers. See internal/wal's package documentation for the on-disk format
-// and examples/recovery for a kill-and-restart walkthrough.
+// and examples/recovery for a kill-and-restart walkthrough. Data dirs are
+// stamped with a replica identity and format version on first open and
+// refuse to serve a different replica or a newer format.
+//
+// Async pipelined durability: with runtime.Config.AsyncJournal (rccnode
+// -async-journal, on by default there) the fsync leaves the consensus
+// event loop. Executed blocks are handed to a background committer over a
+// bounded in-flight queue (-journal-queue), many blocks share each commit
+// point (-journal-batch-bytes caps the batch), and the client replies for
+// a block wait for its WAL record to be reported durable — under an
+// fsyncing policy an acknowledged transaction survives any crash (with
+// -sync none the commit point is flush-only: process-crash-safe, not
+// power-loss-safe), while the per-block fsync stall is gone
+// (BenchmarkAsyncJournal measures the speedup; records/fsync shows the
+// amortization). When the queue fills, execution back-pressures; shutdown
+// and checkpoints drain it so snapshots never outrun the journal. See
+// internal/wal's package documentation for the pipeline design.
 //
 // The root-level benchmarks (bench_test.go) expose one testing.B target per
 // table and figure of the paper's evaluation:
 //
 //	go test -bench=. -benchmem .
+//
+// CI runs them (benchtime=1x smoke plus a longer WAL/journal pass), emits
+// BENCH_ci.json, and gates merges on >25% ns/op regressions against the
+// committed BENCH_baseline.json via scripts/benchgate.
 package repro

@@ -52,6 +52,17 @@ type Journal interface {
 	Append(batch *types.Batch, proof ledger.Proof, state types.Digest) *ledger.Block
 }
 
+// AsyncJournal is the pipelined journal surface: AppendAsync returns as
+// soon as the block joins the chain and the record is handed to the
+// journal's committer; done fires exactly once — possibly before
+// AppendAsync returns — with nil once the record is durable, or with the
+// journal's sticky error, after which the block must not be acknowledged
+// to clients. Implementations may run done on a background goroutine.
+type AsyncJournal interface {
+	Journal
+	AppendAsync(batch *types.Batch, proof ledger.Proof, state types.Digest, done func(err error)) *ledger.Block
+}
+
 // Engine applies ordered batches to an Application and journals them.
 type Engine struct {
 	app      Application
@@ -68,6 +79,43 @@ func NewEngine(app Application, j Journal) *Engine {
 // ExecuteBatch applies every transaction of batch in order and returns the
 // combined result. proof records why the batch is final.
 func (e *Engine) ExecuteBatch(batch *types.Batch, proof ledger.Proof) Result {
+	res := e.execute(batch, proof)
+	if e.journal != nil {
+		res.Block = e.journal.Append(batch, proof, res.StateHash)
+	}
+	return res
+}
+
+// ExecuteBatchAsync is ExecuteBatch over the pipelined commit path: when
+// the journal implements AsyncJournal the block is handed off without
+// waiting for the disk and done fires once the record is durable (or the
+// journal failed); with a plain journal — or none — the append is
+// synchronous and done fires inline before ExecuteBatchAsync returns.
+//
+// done receives the Result by value WITHOUT the Block field — the returned
+// Result carries it — because done may run on the journal's committer
+// goroutine concurrently with this method's return. Acknowledge clients
+// from done, never from the returned Result: the return only means
+// "executed", done means "durable".
+func (e *Engine) ExecuteBatchAsync(batch *types.Batch, proof ledger.Proof, done func(res Result, err error)) Result {
+	res := e.execute(batch, proof)
+	if aj, ok := e.journal.(AsyncJournal); ok {
+		notify := res // value copy: Block stays unset for the callback
+		res.Block = aj.AppendAsync(batch, proof, res.StateHash, func(err error) { done(notify, err) })
+		return res
+	}
+	if e.journal != nil {
+		res.Block = e.journal.Append(batch, proof, res.StateHash)
+	}
+	notify := res
+	notify.Block = nil
+	done(notify, nil)
+	return res
+}
+
+// execute applies every transaction of batch in order and assembles the
+// result, leaving journalling to the caller.
+func (e *Engine) execute(batch *types.Batch, proof ledger.Proof) Result {
 	h := make([]byte, 0, 64)
 	var count [8]byte
 	for i := range batch.Txns {
@@ -77,17 +125,13 @@ func (e *Engine) ExecuteBatch(batch *types.Batch, proof ledger.Proof) Result {
 		e.executed++
 	}
 	binary.BigEndian.PutUint64(count[:], e.executed)
-	res := Result{
+	return Result{
 		Round:       proof.Round,
 		Instance:    proof.Instance,
 		ResultHash:  types.Hash(append(h, count[:]...)),
 		StateHash:   e.app.StateDigest(),
 		TxnExecuted: batch.Len(),
 	}
-	if e.journal != nil {
-		res.Block = e.journal.Append(batch, proof, res.StateHash)
-	}
-	return res
 }
 
 // Executed returns the total number of transactions executed.

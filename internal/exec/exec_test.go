@@ -82,3 +82,82 @@ func TestNilJournalIsFine(t *testing.T) {
 		t.Fatal("block produced without a journal")
 	}
 }
+
+// asyncLedger wraps the in-memory ledger with a deferred-completion journal
+// — the shape internal/store provides in async mode.
+type asyncLedger struct {
+	l       *ledger.Ledger
+	pending []func(error)
+}
+
+func (a *asyncLedger) Append(b *types.Batch, p ledger.Proof, s types.Digest) *ledger.Block {
+	return a.l.Append(b, p, s)
+}
+
+func (a *asyncLedger) AppendAsync(b *types.Batch, p ledger.Proof, s types.Digest, done func(error)) *ledger.Block {
+	blk := a.l.Append(b, p, s)
+	a.pending = append(a.pending, done)
+	return blk
+}
+
+func (a *asyncLedger) complete(err error) {
+	for _, done := range a.pending {
+		done(err)
+	}
+	a.pending = nil
+}
+
+func TestExecuteBatchAsyncDefersCompletion(t *testing.T) {
+	aj := &asyncLedger{l: ledger.New()}
+	e := NewEngine(ycsb.NewStore(100), aj)
+	var got []Result
+	res := e.ExecuteBatchAsync(batch(wtx(1, 1, 3)), ledger.Proof{Round: 4}, func(r Result, err error) {
+		if err != nil {
+			t.Errorf("completion error: %v", err)
+		}
+		got = append(got, r)
+	})
+	if res.Block == nil {
+		t.Fatal("no block journalled")
+	}
+	if len(got) != 0 {
+		t.Fatal("completion fired before the journal reported durable")
+	}
+	aj.complete(nil)
+	if len(got) != 1 {
+		t.Fatalf("%d completions, want 1", len(got))
+	}
+	if got[0].ResultHash != res.ResultHash || got[0].Round != res.Round {
+		t.Fatal("completion result differs from the returned result")
+	}
+	if got[0].Block != nil {
+		t.Fatal("completion result must not carry the block")
+	}
+}
+
+func TestExecuteBatchAsyncSyncJournalCompletesInline(t *testing.T) {
+	l := ledger.New()
+	e := NewEngine(ycsb.NewStore(100), l)
+	fired := false
+	res := e.ExecuteBatchAsync(batch(wtx(1, 1, 3)), ledger.Proof{Round: 1}, func(r Result, err error) {
+		fired = true
+		if err != nil {
+			t.Errorf("completion error: %v", err)
+		}
+	})
+	if !fired {
+		t.Fatal("plain journal must complete inline")
+	}
+	if res.Block == nil || l.Height() != 1 {
+		t.Fatal("block not journalled")
+	}
+}
+
+func TestExecuteBatchAsyncNilJournalCompletesInline(t *testing.T) {
+	e := NewEngine(ycsb.NewStore(10), nil)
+	fired := false
+	e.ExecuteBatchAsync(batch(wtx(1, 1, 1)), ledger.Proof{}, func(Result, error) { fired = true })
+	if !fired {
+		t.Fatal("nil journal must complete inline")
+	}
+}

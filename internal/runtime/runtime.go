@@ -11,6 +11,7 @@
 package runtime
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -45,13 +46,27 @@ type Config struct {
 	// state digest instead of demanding state transfer from peers.
 	DataDir string
 	// Durability selects the WAL sync policy when DataDir is set
-	// (default group commit). Note the journal append currently runs on
-	// the replica's event loop, where a lone appender pays a full fsync
-	// per decided block; moving the fsync wait off the loop (journal
-	// asynchronously, defer only the client replies to the commit point)
-	// is the planned follow-up that lets group commit amortize inside a
-	// single replica the way BenchmarkWALAppend shows across appenders.
+	// (default group commit).
 	Durability wal.SyncPolicy
+	// AsyncJournal pipelines durability when DataDir is set: executed
+	// blocks are handed to a background committer without stalling the
+	// event loop on fsync, many blocks share each commit point, and
+	// client replies for a block are deferred until its WAL record is
+	// reported durable — so an acknowledged transaction can never be
+	// lost to a crash, while the fsync cost amortizes across in-flight
+	// blocks (BenchmarkAsyncJournal). When the in-flight queue
+	// (JournalQueueDepth) fills, execution back-pressures by blocking
+	// the event loop until the disk catches up. Combine with SyncGroup
+	// (the default): under SyncAlways the committer still batches —
+	// use sync mode when a per-block fsync is the point — and under
+	// SyncNone completions mean flushed, not fsynced.
+	AsyncJournal bool
+	// JournalQueueDepth bounds blocks executed but not yet durable in
+	// async mode (default wal.DefaultQueueDepth).
+	JournalQueueDepth int
+	// JournalMaxBatchBytes caps the WAL bytes one fsync covers in async
+	// mode (default wal.DefaultMaxBatchBytes).
+	JournalMaxBatchBytes int64
 	// SnapshotEvery persists an application checkpoint every N decided
 	// blocks when DataDir is set and App implements store.Snapshotter
 	// (0 disables periodic checkpoints; RCC's dynamic checkpoints still
@@ -77,6 +92,17 @@ type Replica struct {
 		m map[sm.TimerID]*time.Timer
 	}
 	start time.Time
+
+	// acks carries deferred client replies from the WAL committer to a
+	// dedicated sender goroutine, so a slow client connection can never
+	// stall the commit pipeline (and, via back-pressure, consensus). The
+	// committer enqueues without blocking and drops replies when the
+	// queue is full — safe, because a dropped reply only un-acks a
+	// durable block and the client retries against f+1 replicas.
+	acks    chan func()
+	ackQuit chan struct{}
+	ackOnce sync.Once
+	ackWg   sync.WaitGroup
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -115,7 +141,13 @@ func New(cfg Config) (*Replica, error) {
 	r.timers.m = make(map[sm.TimerID]*time.Timer)
 	var journal exec.Journal
 	if cfg.DataDir != "" {
-		dl, err := store.Open(cfg.DataDir, store.Options{Sync: cfg.Durability})
+		dl, err := store.Open(cfg.DataDir, store.Options{
+			Sync:               cfg.Durability,
+			Async:              cfg.AsyncJournal,
+			AsyncQueueDepth:    cfg.JournalQueueDepth,
+			AsyncMaxBatchBytes: cfg.JournalMaxBatchBytes,
+			Identity:           fmt.Sprintf("replica-%d", cfg.ID),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -129,6 +161,16 @@ func New(cfg Config) (*Replica, error) {
 		journal = durableJournal{r}
 		r.engine = exec.NewEngine(cfg.App, journal)
 		r.engine.Restore(txns)
+		if cfg.AsyncJournal {
+			depth := cfg.JournalQueueDepth
+			if depth <= 0 {
+				depth = wal.DefaultQueueDepth
+			}
+			r.acks = make(chan func(), depth)
+			r.ackQuit = make(chan struct{})
+			r.ackWg.Add(1)
+			go r.ackLoop()
+		}
 		return r, nil
 	}
 	if cfg.Journal {
@@ -146,12 +188,61 @@ func New(cfg Config) (*Replica, error) {
 // running with a silent durability gap.
 type durableJournal struct{ r *Replica }
 
+var _ exec.AsyncJournal = durableJournal{}
+
 func (j durableJournal) Append(batch *types.Batch, proof ledger.Proof, state types.Digest) *ledger.Block {
 	blk, err := j.r.durable.Append(batch, proof, state)
 	if err != nil {
 		j.r.setDurErr(err)
 	}
 	return blk
+}
+
+// AppendAsync implements exec.AsyncJournal over the store's pipelined
+// commit path: the completion callback runs on the WAL committer goroutine
+// once the block's record is durable (carrying nil) or the journal has
+// failed (sticky error, also recorded for DurabilityErr).
+func (j durableJournal) AppendAsync(batch *types.Batch, proof ledger.Proof, state types.Digest, done func(err error)) *ledger.Block {
+	return j.r.durable.AppendAsync(batch, proof, state, func(_ uint64, err error) {
+		if err != nil {
+			j.r.setDurErr(err)
+		}
+		done(err)
+	})
+}
+
+// ackLoop sends deferred client replies off the WAL committer goroutine.
+// It exits after draining whatever is queued when ackQuit closes.
+func (r *Replica) ackLoop() {
+	defer r.ackWg.Done()
+	for {
+		select {
+		case fn := <-r.acks:
+			fn()
+		case <-r.ackQuit:
+			for {
+				select {
+				case fn := <-r.acks:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deferAck hands a completed block's replies to the ack sender without ever
+// blocking the caller (the WAL committer). A full queue drops the replies —
+// the blocks stay durable, clients retry. Note the single sender is shared:
+// one client's stalled TCP connection delays (and under sustained load,
+// drops) other clients' replies too; per-client send queues in the
+// transport are the follow-up that would isolate them.
+func (r *Replica) deferAck(fn func()) {
+	select {
+	case r.acks <- fn:
+	default:
+	}
 }
 
 func (r *Replica) setDurErr(err error) {
@@ -265,13 +356,21 @@ func (r *Replica) Stop() {
 		r.timers.Unlock()
 	})
 	r.wg.Wait()
-	if r.trans != nil {
-		r.trans.Close()
-	}
+	// Drain the durable store BEFORE closing the transport: in async mode
+	// Close completes every in-flight block's commit point and enqueues
+	// its deferred client acks, which the ack sender then flushes over
+	// the still-live transport.
 	if r.durable != nil {
 		if err := r.durable.Close(); err != nil {
 			r.setDurErr(err)
 		}
+	}
+	if r.acks != nil {
+		r.ackOnce.Do(func() { close(r.ackQuit) })
+		r.ackWg.Wait()
+	}
+	if r.trans != nil {
+		r.trans.Close()
 	}
 }
 
@@ -331,7 +430,10 @@ func (e *replicaEnv) SendClient(c types.ClientID, m types.Message) {
 }
 
 // Deliver executes the decision's batch in order, journals it, and answers
-// the clients.
+// the clients. With Config.AsyncJournal the journal append is pipelined:
+// execution returns immediately and the client replies wait for the block's
+// WAL record to be reported durable (per-height ack deferral), so no client
+// ever holds an acknowledgement the disk does not.
 func (e *replicaEnv) Deliver(d sm.Decision) {
 	r := e.r
 	r.mu.Lock()
@@ -342,10 +444,28 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 		// work: nothing to execute, journal, or answer.
 		return
 	}
-	res := r.engine.ExecuteBatch(d.Batch, ledger.Proof{
+	proof := ledger.Proof{
 		Instance: d.Instance, Round: d.Round, View: d.View,
 		Digest: d.Digest, Signers: d.Signers,
-	})
+	}
+	var res exec.Result
+	if r.cfg.AsyncJournal && r.durable != nil {
+		// The callback runs on the WAL committer goroutine; d and the
+		// completion Result are read-only there, and the transports are
+		// safe for concurrent use.
+		res = r.engine.ExecuteBatchAsync(d.Batch, proof, func(nres exec.Result, err error) {
+			if err != nil {
+				// setDurErr already ran (durableJournal); stay silent and
+				// let clients collect f+1 replies from healthy replicas.
+				return
+			}
+			// Hand the (potentially blocking) sends to the ack goroutine:
+			// the committer must never wait on a client's socket.
+			r.deferAck(func() { e.ackClients(d, nres) })
+		})
+	} else {
+		res = r.engine.ExecuteBatch(d.Batch, proof)
+	}
 	r.mu.Lock()
 	r.executed += uint64(res.TxnExecuted)
 	r.mu.Unlock()
@@ -353,6 +473,17 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 		(res.Block.Height+1)%r.cfg.SnapshotEvery == 0 {
 		r.saveSnapshot()
 	}
+	if r.cfg.AsyncJournal && r.durable != nil {
+		return // replies ride on the durability callback
+	}
+	e.ackClients(d, res)
+}
+
+// ackClients answers the clients covered by a decided, executed, durable
+// batch: one reply per client, f+1 identical replies prove the outcome.
+// Safe off the event loop — it reads only immutable decision state.
+func (e *replicaEnv) ackClients(d sm.Decision, res exec.Result) {
+	r := e.r
 	if !r.cfg.ReplyToClients {
 		return
 	}
@@ -362,8 +493,6 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 	if r.DurabilityErr() != nil {
 		return
 	}
-	// One reply per client covered by the batch; f+1 identical replies
-	// prove the outcome to the client.
 	seen := make(map[types.ClientID]uint64)
 	for i := range d.Batch.Txns {
 		tx := &d.Batch.Txns[i]

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 
@@ -26,6 +27,24 @@ type Options struct {
 	Sync wal.SyncPolicy
 	// KeepSnapshots bounds retained checkpoint generations (default 2).
 	KeepSnapshots int
+	// Async enables the pipelined commit path: AppendAsync hands records
+	// to a background committer that batches many blocks per fsync and
+	// reports durability through completion callbacks, instead of every
+	// append stopping to wait out its own fsync.
+	Async bool
+	// AsyncQueueDepth bounds blocks in flight (appended, not yet durable)
+	// in async mode; appends block when it fills (back-pressure). Default
+	// wal.DefaultQueueDepth.
+	AsyncQueueDepth int
+	// AsyncMaxBatchBytes caps the bytes one fsync covers in async mode
+	// (default wal.DefaultMaxBatchBytes).
+	AsyncMaxBatchBytes int64
+	// Identity names the replica owning the data dir. On first open it is
+	// stamped into the dir; a reopen under a different identity fails with
+	// ErrDataDirMismatch (a data dir is not portable across replicas —
+	// its chain is this replica's voting history). Empty skips the
+	// ownership check but still stamps and checks the format version.
+	Identity string
 }
 
 // DurableLedger wraps the in-memory hash-chained ledger with durability:
@@ -37,13 +56,22 @@ type DurableLedger struct {
 	mu    sync.Mutex
 	mem   *ledger.Ledger
 	log   *wal.Log
+	async *wal.Appender // pipelined commit path, nil in sync mode
 	snaps *SnapshotStore
 	snap  *Snapshot // latest consistent checkpoint found at Open, may be nil
 }
 
 // Open opens (creating if necessary) the durable ledger rooted at dir. The
-// WAL lives in dir/wal, checkpoints in dir/checkpoints.
+// WAL lives in dir/wal, checkpoints in dir/checkpoints, and the dir itself
+// is stamped with the replica identity and format version (first open
+// stamps, later opens enforce — see ErrDataDirMismatch).
 func Open(dir string, opts Options) (*DurableLedger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := stampIdentity(dir, opts.Identity); err != nil {
+		return nil, err
+	}
 	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
 		SegmentBytes: opts.SegmentBytes,
 		Sync:         opts.Sync,
@@ -71,6 +99,12 @@ func Open(dir string, opts Options) (*DurableLedger, error) {
 			return nil, err
 		}
 		d.snap = snap
+	}
+	if opts.Async {
+		d.async = log.NewAppender(wal.AsyncOptions{
+			QueueDepth:    opts.AsyncQueueDepth,
+			MaxBatchBytes: opts.AsyncMaxBatchBytes,
+		})
 	}
 	return d, nil
 }
@@ -139,6 +173,32 @@ func (d *DurableLedger) Append(batch *types.Batch, proof ledger.Proof, state typ
 	return blk, nil
 }
 
+// AppendAsync is the pipelined commit path: the block joins the in-memory
+// chain and is handed to the background committer without waiting for the
+// disk. done fires exactly once — from the committer, carrying the durable
+// LSN, once a commit point covers the record; inline with the sticky error
+// when the journal has already failed (the block is then ahead of disk and
+// the caller must stop journaling, same contract as Append). done runs on
+// the committer goroutine: keep it short and do not call back into the
+// ledger from it. AppendAsync blocks while AsyncQueueDepth blocks are in
+// flight. On a sync-mode ledger it degenerates to Append with an inline
+// done.
+func (d *DurableLedger) AppendAsync(batch *types.Batch, proof ledger.Proof, state types.Digest, done func(lsn uint64, err error)) *ledger.Block {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	blk := d.mem.Append(batch, proof, state)
+	payload := ledger.EncodeBlock(blk)
+	if d.async == nil {
+		idx, err := d.log.Append(payload)
+		done(idx, err)
+		return blk
+	}
+	if _, err := d.async.Submit(payload, done); err != nil {
+		done(0, err) // Submit never ran the callback; fail it here
+	}
+	return blk
+}
+
 // Snapshot persists appState as a checkpoint at the current chain head
 // (§III-D durable counterpart of RCC's dynamic checkpoints). It is a no-op
 // on an empty chain. The WAL is synced first so a durable checkpoint is
@@ -200,11 +260,39 @@ func (d *DurableLedger) RestoreApp(app exec.Application) (uint64, error) {
 	return d.mem.TxnCount(), nil
 }
 
-// Sync forces all journaled blocks to durable storage.
+// Sync forces all journaled blocks to durable storage. In async mode the
+// blocks are already in the log's buffer (AppendAsync writes before it
+// returns), so this also covers every block still awaiting its completion
+// callback — which the committer will still deliver.
 func (d *DurableLedger) Sync() error { return d.log.Sync() }
 
 // WAL exposes the underlying log (stats, pruning, tests).
 func (d *DurableLedger) WAL() *wal.Log { return d.log }
 
-// Close flushes and closes the journal.
-func (d *DurableLedger) Close() error { return d.log.Close() }
+// Appender exposes the async committer (stats, tests); nil in sync mode.
+func (d *DurableLedger) Appender() *wal.Appender { return d.async }
+
+// Close drains the async committer — every in-flight block gets its commit
+// point and its completion callback before Close returns — then flushes and
+// closes the journal.
+func (d *DurableLedger) Close() error {
+	if d.async != nil {
+		err := d.async.Close()
+		cerr := d.log.Close()
+		if err != nil && !errors.Is(err, wal.ErrClosed) {
+			return err
+		}
+		return cerr
+	}
+	return d.log.Close()
+}
+
+// CloseAbrupt closes the ledger the way a crash would: in-flight async
+// blocks get no commit point and no callbacks, and the log's write buffer
+// is discarded. Crash-realism test helper.
+func (d *DurableLedger) CloseAbrupt() {
+	if d.async != nil {
+		d.async.CloseAbrupt()
+	}
+	d.log.CloseAbrupt()
+}

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// identityFile stamps a data directory with the on-disk format version and
+// the identity of the replica that owns it. WAL records and checkpoints
+// carry no replica name, so without the stamp a data dir copied (or
+// mis-mounted) from another replica would replay cleanly and then diverge
+// from the peer set at the first new block — the worst kind of corruption,
+// the silent kind.
+const identityFile = "IDENTITY"
+
+// formatVersion is the data-dir format this build reads and writes. Older
+// versions reopen fine (the format is append-only so far); a NEWER version
+// means a newer build already wrote state this one cannot be trusted to
+// interpret, so Open refuses.
+const formatVersion = 1
+
+// ErrDataDirMismatch reports a data directory that belongs to a different
+// replica or was written by a newer format version.
+var ErrDataDirMismatch = errors.New("store: data dir mismatch")
+
+// stampIdentity enforces the data dir's identity file: on first open it is
+// written (atomically, fsynced); on reopen it must name a format this build
+// understands and, when both sides declare one, the same replica identity.
+func stampIdentity(dir, identity string) error {
+	path := filepath.Join(dir, identityFile)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return writeIdentity(dir, path, identity)
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	version, owner, err := parseIdentity(data)
+	if err != nil {
+		return err
+	}
+	if version > formatVersion {
+		return fmt.Errorf("%w: data dir uses format %d, this build reads up to %d",
+			ErrDataDirMismatch, version, formatVersion)
+	}
+	if owner != "" && identity != "" && owner != identity {
+		return fmt.Errorf("%w: data dir belongs to %q, this replica is %q",
+			ErrDataDirMismatch, owner, identity)
+	}
+	if owner == "" && identity != "" {
+		// A dir stamped before the replica had a name adopts it now.
+		return writeIdentity(dir, path, identity)
+	}
+	return nil
+}
+
+func parseIdentity(data []byte) (version int, owner string, err error) {
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "RCCDIR ") {
+		return 0, "", fmt.Errorf("%w: unparseable identity file", ErrDataDirMismatch)
+	}
+	version, err = strconv.Atoi(strings.TrimPrefix(lines[0], "RCCDIR "))
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: unparseable format version", ErrDataDirMismatch)
+	}
+	if !strings.HasPrefix(lines[1], "replica ") {
+		return 0, "", fmt.Errorf("%w: unparseable identity file", ErrDataDirMismatch)
+	}
+	return version, strings.TrimPrefix(lines[1], "replica "), nil
+}
+
+// writeIdentity stamps atomically so a crash leaves either no stamp or a
+// complete one, never a torn file.
+func writeIdentity(dir, path, identity string) error {
+	return writeFileAtomic(dir, path, fmt.Appendf(nil, "RCCDIR %d\nreplica %s\n", formatVersion, identity))
+}

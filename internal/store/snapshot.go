@@ -125,12 +125,22 @@ func decodeSnapshot(buf []byte) (*Snapshot, error) {
 // or the previous set plus the complete new one — never a torn file under a
 // final name.
 func (s *SnapshotStore) Save(snap *Snapshot) error {
-	tmp, err := os.CreateTemp(s.dir, "tmp-ckp-*")
+	if err := writeFileAtomic(s.dir, s.path(snap.Height), encodeSnapshot(snap)); err != nil {
+		return err
+	}
+	return s.prune()
+}
+
+// writeFileAtomic writes data under path via tmp + fsync + rename + dir
+// sync: a crash at any point leaves either no file or the complete new one
+// under the final name, never a torn file. dir must contain path.
+func writeFileAtomic(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(encodeSnapshot(snap)); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: %w", err)
 	}
@@ -141,14 +151,14 @@ func (s *SnapshotStore) Save(snap *Snapshot) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(snap.Height)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if dir, err := os.Open(s.dir); err == nil {
-		_ = dir.Sync() // make the rename itself durable
-		dir.Close()
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // make the rename itself durable
+		d.Close()
 	}
-	return s.prune()
+	return nil
 }
 
 func (s *SnapshotStore) heights() ([]uint64, error) {

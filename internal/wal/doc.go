@@ -65,4 +65,34 @@
 //
 //   - SyncNone: no explicit fsync; durability is left to the OS page
 //     cache. For tests and throwaway runs.
+//
+// # Async pipelined commit (Appender)
+//
+// Group commit amortizes across CONCURRENT appenders, but a replica's
+// event loop is one sequential appender: stop-and-wait journaling pays a
+// full fsync per block however the log batches. The Appender converts that
+// path to a pipeline:
+//
+//   - Submit writes the record into the log's buffer and returns
+//     immediately with its index; the caller keeps executing.
+//   - A single committer goroutine coalesces every record in flight — up
+//     to AsyncOptions.MaxBatchBytes per batch — under ONE commit point
+//     (flush under the write lock, fsync outside it, exactly like the
+//     group-commit leader), then fires each record's completion callback
+//     with the durable LSN, in index order.
+//   - AsyncOptions.QueueDepth bounds records submitted but not yet
+//     durable; a full queue blocks Submit, back-pressuring the producer
+//     instead of buffering unacknowledged work without limit.
+//   - Errors are sticky (fsyncgate): after one failed commit point every
+//     in-flight callback carries the error, later Submits fail, and
+//     nothing past the failure is ever reported durable.
+//   - Close drains: remaining records get a final commit point and their
+//     callbacks before Close returns. CloseAbrupt is the crash-shaped
+//     close for tests — no flush, no fsync, no callbacks.
+//
+// The replica runtime defers client replies to these callbacks
+// (runtime.Config.AsyncJournal): a client acknowledgement then implies the
+// block is on disk, while the event loop never waits out an fsync.
+// BenchmarkAsyncJournal compares the two shapes; records/fsync reports the
+// amortization the pipeline recovers.
 package wal

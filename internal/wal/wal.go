@@ -88,6 +88,10 @@ type Log struct {
 	appends atomic.Uint64 // records appended this process
 	syncs   atomic.Uint64 // fsyncs issued this process
 
+	// fsyncFn, when non-nil, replaces (*os.File).Sync — the test seam for
+	// injecting fsync failures (fsyncgate realism).
+	fsyncFn func(*os.File) error
+
 	gc struct {
 		mu      sync.Mutex
 		synced  uint64       // highest index known durable
@@ -322,7 +326,7 @@ func (l *Log) rollLocked() error {
 			return fmt.Errorf("wal: %w", err)
 		}
 		l.syncs.Add(1)
-		if err := l.f.Sync(); err != nil {
+		if err := l.fsync(l.f); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 		if err := l.f.Close(); err != nil {
@@ -352,26 +356,22 @@ func (l *Log) rollLocked() error {
 	return nil
 }
 
-// Append writes payload as the next record and returns its 1-based index.
-// It returns once the record is durable under the log's sync policy.
-func (l *Log) Append(payload []byte) (uint64, error) {
+// writeLocked validates, rolls if needed, and writes payload as the next
+// record into the write buffer. Caller holds l.mu. Durability is the
+// caller's problem.
+func (l *Log) writeLocked(payload []byte) (uint64, error) {
 	if int64(len(payload)) > maxPayload {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
 	}
-	l.mu.Lock()
 	if l.closed {
-		l.mu.Unlock()
 		return 0, ErrClosed
 	}
 	if l.fatal != nil {
-		err := l.fatal
-		l.mu.Unlock()
-		return 0, err
+		return 0, l.fatal
 	}
 	if l.size+frameSize+int64(len(payload)) > l.opts.SegmentBytes && l.size > headerSize {
 		if err := l.rollLocked(); err != nil {
 			l.fatal = err // mid-roll failures leave the log unusable too
-			l.mu.Unlock()
 			return 0, err
 		}
 	}
@@ -379,11 +379,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
 	if _, err := l.w.Write(frame[:]); err != nil {
-		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	if _, err := l.w.Write(payload); err != nil {
-		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	idx := l.next
@@ -391,6 +389,27 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.size += frameSize + int64(len(payload))
 	l.segments[len(l.segments)-1].count++
 	l.appends.Add(1)
+	return idx, nil
+}
+
+// appendBuffered writes payload as the next record and returns immediately,
+// whatever the sync policy — the Appender's submit path. The record is not
+// durable until a later Sync (or the group committer) covers it.
+func (l *Log) appendBuffered(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeLocked(payload)
+}
+
+// Append writes payload as the next record and returns its 1-based index.
+// It returns once the record is durable under the log's sync policy.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	idx, err := l.writeLocked(payload)
+	if err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
 
 	switch l.opts.Sync {
 	case SyncNone:
@@ -474,18 +493,7 @@ func (l *Log) waitDurable(idx uint64) error {
 			}
 			l.mu.Unlock()
 			if err == nil && f != nil {
-				// A segment roll or Close may race us and close f, but
-				// both fsync before closing, so ErrClosed means "already
-				// durable".
-				l.syncs.Add(1)
-				if serr := f.Sync(); serr != nil && !errors.Is(serr, os.ErrClosed) {
-					err = fmt.Errorf("wal: %w", serr)
-					l.mu.Lock()
-					if l.fatal == nil {
-						l.fatal = err // poison future appends too (fsyncgate)
-					}
-					l.mu.Unlock()
-				}
+				err = l.fsyncOutsideLock(f)
 			}
 
 			gc.mu.Lock()
@@ -527,20 +535,54 @@ func (l *Log) waitDurable(idx uint64) error {
 	}
 }
 
-// syncLocked flushes the write buffer and fsyncs the active segment. A
-// failure is sticky: after a failed fsync the kernel may have dropped the
-// dirty pages (fsyncgate), so no later append may be reported durable.
-// Caller holds l.mu.
+// fsync flushes f's data to stable storage, via the test seam when set.
+func (l *Log) fsync(f *os.File) error {
+	if l.fsyncFn != nil {
+		return l.fsyncFn(f)
+	}
+	return f.Sync()
+}
+
+// fsyncOutsideLock is the shared tail of every commit point that fsyncs
+// without holding l.mu (the group-commit leader and the async committer):
+// a segment roll or Close may race us and close f, but both fsync before
+// closing, so ErrClosed means "already durable". A real failure poisons
+// the log (fsyncgate: the kernel may have dropped the dirty pages, so no
+// later append may be reported durable).
+func (l *Log) fsyncOutsideLock(f *os.File) error {
+	l.syncs.Add(1)
+	if serr := l.fsync(f); serr != nil && !errors.Is(serr, os.ErrClosed) {
+		err := fmt.Errorf("wal: %w", serr)
+		l.mu.Lock()
+		if l.fatal == nil {
+			l.fatal = err
+		}
+		l.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// syncLocked flushes the write buffer, fsyncs the active segment, and
+// advances the durable watermark. A failure is sticky: after a failed fsync
+// the kernel may have dropped the dirty pages (fsyncgate), so no later
+// append may be reported durable. Caller holds l.mu.
 func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		l.fatal = fmt.Errorf("wal: %w", err)
 		return l.fatal
 	}
 	l.syncs.Add(1)
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(l.f); err != nil {
 		l.fatal = fmt.Errorf("wal: %w", err)
 		return l.fatal
 	}
+	synced := l.next - 1
+	l.gc.mu.Lock()
+	if synced > l.gc.synced {
+		l.gc.synced = synced
+	}
+	l.gc.mu.Unlock()
 	return nil
 }
 
@@ -555,16 +597,71 @@ func (l *Log) Sync() error {
 	if l.fatal != nil {
 		return l.fatal
 	}
-	if err := l.syncLocked(); err != nil {
-		return err
+	return l.syncLocked()
+}
+
+// syncPipelined is the async committer's commit point: it flushes under the
+// write lock, fsyncs OUTSIDE it so submitters keep writing while the disk
+// works, and returns the durable watermark — covering every record written
+// before the flush. Failures poison the log like syncLocked's.
+func (l *Log) syncPipelined() (uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
 	}
-	synced := l.next - 1
+	if l.fatal != nil {
+		err := l.fatal
+		l.mu.Unlock()
+		return 0, err
+	}
+	target := l.next - 1
+	if err := l.w.Flush(); err != nil {
+		err = fmt.Errorf("wal: %w", err)
+		l.fatal = err
+		l.mu.Unlock()
+		return 0, err
+	}
+	f := l.f
+	l.mu.Unlock()
+
+	if err := l.fsyncOutsideLock(f); err != nil {
+		return 0, err
+	}
 	l.gc.mu.Lock()
-	if synced > l.gc.synced {
-		l.gc.synced = synced
+	if target > l.gc.synced {
+		l.gc.synced = target
 	}
+	synced := l.gc.synced
 	l.gc.mu.Unlock()
+	return synced, nil
+}
+
+// Flush pushes buffered writes to the operating system without fsyncing —
+// data survives a process crash but not a power loss. The async committer
+// uses it in place of Sync under SyncNone.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.fatal != nil {
+		return l.fatal
+	}
+	if err := l.w.Flush(); err != nil {
+		l.fatal = fmt.Errorf("wal: %w", err)
+		return l.fatal
+	}
 	return nil
+}
+
+// DurableIndex returns the highest record index known to be durable (0
+// when nothing is durable yet).
+func (l *Log) DurableIndex() uint64 {
+	l.gc.mu.Lock()
+	defer l.gc.mu.Unlock()
+	return l.gc.synced
 }
 
 // Replay streams every record to fn in index order. It re-reads from disk,
@@ -662,15 +759,11 @@ func (l *Log) Close() error {
 		return nil
 	}
 	err := l.syncLocked()
-	synced := l.next - 1
 	l.closed = true
 	cerr := l.f.Close()
 	l.mu.Unlock()
 
 	l.gc.mu.Lock()
-	if err == nil && synced > l.gc.synced {
-		l.gc.synced = synced
-	}
 	if l.gc.err == nil {
 		l.gc.err = ErrClosed
 	}
@@ -685,4 +778,25 @@ func (l *Log) Close() error {
 		return fmt.Errorf("wal: %w", cerr)
 	}
 	return nil
+}
+
+// CloseAbrupt closes the log the way a crash would: the write buffer is
+// discarded and nothing is flushed or fsynced, so only records already
+// pushed to the OS survive a reopen — and only fsynced ones would survive
+// power loss. Crash-realism test helper; see DurableLedger.CloseAbrupt.
+func (l *Log) CloseAbrupt() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.f.Close() // deliberately without Flush: the buffer dies with the "process"
+	l.mu.Unlock()
+
+	l.gc.mu.Lock()
+	if l.gc.err == nil {
+		l.gc.err = ErrClosed
+	}
+	l.gc.mu.Unlock()
 }
