@@ -48,6 +48,8 @@ func main() {
 		zyz      = flag.Bool("zyzzyva", false, "collect all-n speculative responses (Zyzzyva deployments)")
 		macKey   = flag.String("mac-secret", "", "shared MAC secret (must match the nodes)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "overall deadline")
+		sendQ    = flag.Int("send-queue", 0, "per-replica outbound queue depth (0 = default 4096)")
+		sendB    = flag.Int("send-batch-bytes", 0, "max encoded bytes coalesced per write syscall (0 = default 128 KiB)")
 	)
 	flag.Parse()
 
@@ -92,10 +94,12 @@ func main() {
 		auth = crypto.NewMAC(crypto.ClientPartyID(cid), []byte(*macKey))
 	}
 	tcp, err := transport.NewTCP(transport.TCPConfig{
-		IsClient:   true,
-		SelfClient: cid,
-		Peers:      peers,
-		Auth:       auth,
+		IsClient:      true,
+		SelfClient:    cid,
+		Peers:         peers,
+		Auth:          auth,
+		QueueDepth:    *sendQ,
+		MaxBatchBytes: *sendB,
 	}, proc)
 	if err != nil {
 		log.Fatalf("rccclient: %v", err)

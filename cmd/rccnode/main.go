@@ -66,6 +66,9 @@ func main() {
 		asyncJnl = flag.Bool("async-journal", true, "pipeline WAL fsyncs off the consensus event loop: client acks wait for durability, many blocks share each fsync")
 		jnlQueue = flag.Int("journal-queue", 0, "async journal: max blocks executed but not yet durable before execution back-pressures (0 = default 1024)")
 		jnlBatch = flag.Int64("journal-batch-bytes", 0, "async journal: max WAL bytes per fsync batch (0 = default 8 MiB)")
+		sendQ    = flag.Int("send-queue", 0, "per-peer outbound queue depth: messages buffered per replica link before backpressure (0 = default 4096)")
+		clientQ  = flag.Int("client-queue", 0, "per-client reply queue depth: replies buffered per client link before dropping (0 = default 1024)")
+		sendB    = flag.Int("send-batch-bytes", 0, "max encoded bytes coalesced into one multi-message frame per write syscall (0 = default 128 KiB)")
 	)
 	flag.Parse()
 
@@ -142,10 +145,13 @@ func main() {
 		auth = crypto.NewMAC(crypto.PartyID(types.ReplicaID(*id)), []byte(*macKey))
 	}
 	tcp, err := transport.NewTCP(transport.TCPConfig{
-		Self:   types.ReplicaID(*id),
-		Listen: *listen,
-		Peers:  peers,
-		Auth:   auth,
+		Self:             types.ReplicaID(*id),
+		Listen:           *listen,
+		Peers:            peers,
+		Auth:             auth,
+		QueueDepth:       *sendQ,
+		ClientQueueDepth: *clientQ,
+		MaxBatchBytes:    *sendB,
 	}, rep)
 	if err != nil {
 		log.Fatalf("rccnode: %v", err)
@@ -170,7 +176,14 @@ func main() {
 			var last uint64
 			for range time.Tick(time.Duration(*statsSec) * time.Second) {
 				cur := rep.Executed()
-				log.Printf("rccnode: executed %d txns (%.0f txn/s)", cur, float64(cur-last)/float64(*statsSec))
+				st := tcp.Stats()
+				batched := float64(0)
+				if st.BatchesSent > 0 {
+					batched = float64(st.MsgsSent) / float64(st.BatchesSent)
+				}
+				log.Printf("rccnode: executed %d txns (%.0f txn/s); sent %d msgs in %d frames (%.1f msgs/frame), dropped peer=%d client=%d, reconnects=%d",
+					cur, float64(cur-last)/float64(*statsSec),
+					st.MsgsSent, st.BatchesSent, batched, st.PeerDropped, st.ClientDropped, st.Reconnects)
 				last = cur
 			}
 		}()

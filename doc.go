@@ -36,12 +36,30 @@
 // and checkpoints drain it so snapshots never outrun the journal. See
 // internal/wal's package documentation for the pipeline design.
 //
+// Non-blocking messaging layer: no network I/O or encoding ever runs on
+// the consensus event loop. Send and SendClient on every transport
+// (internal/transport) are enqueue-only — bounded per-destination queues
+// feed dedicated writer goroutines that encode messages through the
+// registry-based binary codec in internal/types (explicit MsgType tag,
+// per-type Marshal/Unmarshal, pooled buffers; replaces per-message gob),
+// coalesce bursts into multi-message frames (wire format v2, one write
+// syscall per burst), and redial failed peers with exponential backoff.
+// Replica links backpressure on overflow while the peer is healthy and
+// drop (counted) while it is down; client links always drop on overflow,
+// so one stalled client or peer can never delay anyone else — client
+// acks ride these per-client queues straight off the WAL committer.
+// Connections open with a wire-version handshake and refuse mismatched
+// peers, the network twin of store.ErrDataDirMismatch. rccnode/rccclient
+// expose -send-queue, -client-queue, and -send-batch-bytes;
+// BenchmarkBroadcast and BenchmarkCodec measure the win (enqueue-only
+// vote broadcast is >10x the old inline gob+write path) and CI gates it.
+//
 // The root-level benchmarks (bench_test.go) expose one testing.B target per
 // table and figure of the paper's evaluation:
 //
 //	go test -bench=. -benchmem .
 //
-// CI runs them (benchtime=1x smoke plus a longer WAL/journal pass), emits
-// BENCH_ci.json, and gates merges on >25% ns/op regressions against the
-// committed BENCH_baseline.json via scripts/benchgate.
+// CI runs them (benchtime=1x smoke plus a longer WAL/journal/messaging
+// pass), emits BENCH_ci.json, and gates merges on >25% ns/op regressions
+// against the committed BENCH_baseline.json via scripts/benchgate.
 package repro

@@ -93,17 +93,6 @@ type Replica struct {
 	}
 	start time.Time
 
-	// acks carries deferred client replies from the WAL committer to a
-	// dedicated sender goroutine, so a slow client connection can never
-	// stall the commit pipeline (and, via back-pressure, consensus). The
-	// committer enqueues without blocking and drops replies when the
-	// queue is full — safe, because a dropped reply only un-acks a
-	// durable block and the client retries against f+1 replicas.
-	acks    chan func()
-	ackQuit chan struct{}
-	ackOnce sync.Once
-	ackWg   sync.WaitGroup
-
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
@@ -161,16 +150,6 @@ func New(cfg Config) (*Replica, error) {
 		journal = durableJournal{r}
 		r.engine = exec.NewEngine(cfg.App, journal)
 		r.engine.Restore(txns)
-		if cfg.AsyncJournal {
-			depth := cfg.JournalQueueDepth
-			if depth <= 0 {
-				depth = wal.DefaultQueueDepth
-			}
-			r.acks = make(chan func(), depth)
-			r.ackQuit = make(chan struct{})
-			r.ackWg.Add(1)
-			go r.ackLoop()
-		}
 		return r, nil
 	}
 	if cfg.Journal {
@@ -209,40 +188,6 @@ func (j durableJournal) AppendAsync(batch *types.Batch, proof ledger.Proof, stat
 		}
 		done(err)
 	})
-}
-
-// ackLoop sends deferred client replies off the WAL committer goroutine.
-// It exits after draining whatever is queued when ackQuit closes.
-func (r *Replica) ackLoop() {
-	defer r.ackWg.Done()
-	for {
-		select {
-		case fn := <-r.acks:
-			fn()
-		case <-r.ackQuit:
-			for {
-				select {
-				case fn := <-r.acks:
-					fn()
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-// deferAck hands a completed block's replies to the ack sender without ever
-// blocking the caller (the WAL committer). A full queue drops the replies —
-// the blocks stay durable, clients retry. Note the single sender is shared:
-// one client's stalled TCP connection delays (and under sustained load,
-// drops) other clients' replies too; per-client send queues in the
-// transport are the follow-up that would isolate them.
-func (r *Replica) deferAck(fn func()) {
-	select {
-	case r.acks <- fn:
-	default:
-	}
 }
 
 func (r *Replica) setDurErr(err error) {
@@ -357,17 +302,14 @@ func (r *Replica) Stop() {
 	})
 	r.wg.Wait()
 	// Drain the durable store BEFORE closing the transport: in async mode
-	// Close completes every in-flight block's commit point and enqueues
-	// its deferred client acks, which the ack sender then flushes over
-	// the still-live transport.
+	// Close completes every in-flight block's commit point and its
+	// durability callback enqueues the deferred client acks onto the
+	// transport's per-client queues, which the transport's Close then
+	// flushes (bounded by its drain timeout).
 	if r.durable != nil {
 		if err := r.durable.Close(); err != nil {
 			r.setDurErr(err)
 		}
-	}
-	if r.acks != nil {
-		r.ackOnce.Do(func() { close(r.ackQuit) })
-		r.ackWg.Wait()
 	}
 	if r.trans != nil {
 		r.trans.Close()
@@ -452,16 +394,18 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 	if r.cfg.AsyncJournal && r.durable != nil {
 		// The callback runs on the WAL committer goroutine; d and the
 		// completion Result are read-only there, and the transports are
-		// safe for concurrent use.
+		// safe for concurrent use. SendClient is enqueue-only (bounded
+		// per-client queue, drop on overflow), so acking directly from
+		// the committer can never wait on a client's socket — a dropped
+		// reply only un-acks a durable block and the client collects its
+		// f+1 replies elsewhere or retries.
 		res = r.engine.ExecuteBatchAsync(d.Batch, proof, func(nres exec.Result, err error) {
 			if err != nil {
 				// setDurErr already ran (durableJournal); stay silent and
 				// let clients collect f+1 replies from healthy replicas.
 				return
 			}
-			// Hand the (potentially blocking) sends to the ack goroutine:
-			// the committer must never wait on a client's socket.
-			r.deferAck(func() { e.ackClients(d, nres) })
+			e.ackClients(d, nres)
 		})
 	} else {
 		res = r.engine.ExecuteBatch(d.Batch, proof)

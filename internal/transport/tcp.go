@@ -1,0 +1,744 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/types"
+)
+
+// TCPConfig parameterizes a TCP node.
+type TCPConfig struct {
+	// Self is the local replica (ignored for clients).
+	Self types.ReplicaID
+	// SelfClient is the local client identity when IsClient.
+	SelfClient types.ClientID
+	// IsClient marks a client node (listens on no port, dials replicas).
+	IsClient bool
+	// Listen is the local listen address (replicas only).
+	Listen string
+	// Peers maps replica IDs to their dialable addresses.
+	Peers map[types.ReplicaID]string
+	// Auth authenticates frames; nil disables authentication.
+	Auth crypto.Authenticator
+
+	// QueueDepth bounds each per-peer outbound queue (default 4096).
+	// Overflow on a connected peer link blocks the sender (backpressure);
+	// while the peer is unreachable messages are dropped and counted.
+	QueueDepth int
+	// ClientQueueDepth bounds each per-client reply queue (default 1024).
+	// Overflow drops the reply and counts it — a stalled client never
+	// delays anyone else's replies.
+	ClientQueueDepth int
+	// MaxBatchBytes caps the encoded bytes one write batch coalesces into
+	// a single syscall (default 128 KiB).
+	MaxBatchBytes int
+	// MaxBatchMsgs caps the messages per write batch (default 256).
+	MaxBatchMsgs int
+	// MaxFrameBytes caps accepted inbound frames (default 64 MiB).
+	MaxFrameBytes int
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each steady-state frame write (default 10s).
+	// A peer that accepts the connection but stops draining it (paused,
+	// partitioned, Byzantine) fails its write within this bound and the
+	// link demotes to the drop-while-down policy — so the backpressure a
+	// full replica queue exerts on senders is bounded, never a permanent
+	// wedge of the consensus event loop.
+	WriteTimeout time.Duration
+	// ReconnectBackoff is the initial redial delay after a link failure,
+	// doubling up to ReconnectBackoffMax (defaults 50ms, 1s).
+	ReconnectBackoff    time.Duration
+	ReconnectBackoffMax time.Duration
+	// DrainTimeout bounds how long Close lets writer goroutines flush
+	// queued messages (default 1s).
+	DrainTimeout time.Duration
+}
+
+func (c *TCPConfig) defaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.ClientQueueDepth <= 0 {
+		c.ClientQueueDepth = 1024
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 128 << 10
+	}
+	if c.MaxBatchMsgs <= 0 {
+		c.MaxBatchMsgs = 256
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = 64 << 20
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if c.ReconnectBackoffMax <= 0 {
+		c.ReconnectBackoffMax = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = time.Second
+	}
+}
+
+// TCPStats are the transport's observable counters. All values are
+// cumulative since NewTCP.
+type TCPStats struct {
+	// MsgsSent / BatchesSent count messages written and the frames they
+	// were coalesced into; their ratio is the realized batching factor.
+	MsgsSent    uint64
+	BatchesSent uint64
+	// PeerDropped counts replica-link messages discarded while the peer
+	// was unreachable (down or in dial backoff).
+	PeerDropped uint64
+	// ClientDropped counts client replies discarded on queue overflow or
+	// after the client's connection died.
+	ClientDropped uint64
+	// Reconnects counts successful re-dials after a link failure.
+	Reconnects uint64
+	// BadHeader counts connections refused at the handshake (wrong magic,
+	// wire version, or sender kind).
+	BadHeader uint64
+	// DecodeErrs counts inbound records that failed to decode and were
+	// skipped.
+	DecodeErrs uint64
+	// EncodeErrs counts outbound messages discarded because they could
+	// not be encoded (a message type missing from the codec registry —
+	// a local bug, not a peer problem).
+	EncodeErrs uint64
+	// AuthRejects counts records dropped for a bad authenticator tag.
+	AuthRejects uint64
+}
+
+// TCP is a TCP transport node. Send/SendClient enqueue onto bounded
+// per-destination queues; writer goroutines encode, batch, write, and
+// reconnect. Inbound frames are verified and handed to the endpoint.
+type TCP struct {
+	cfg      TCPConfig
+	ep       Endpoint
+	listener net.Listener
+
+	mu          sync.Mutex
+	closing     bool
+	queues      map[types.ReplicaID]*peerQueue
+	clientsByID map[types.ClientID]*connQueue
+	conns       map[net.Conn]struct{}
+
+	done chan struct{}
+	// closeDeadline (unix nanos, 0 until Close) caps every write deadline
+	// once shutdown starts, so no in-flight or drain write can stretch
+	// Close past its DrainTimeout bound.
+	closeDeadline atomic.Int64
+	wgReaders     sync.WaitGroup
+	wgWriters     sync.WaitGroup
+
+	msgsSent      atomic.Uint64
+	batchesSent   atomic.Uint64
+	peerDropped   atomic.Uint64
+	clientDropped atomic.Uint64
+	reconnects    atomic.Uint64
+	badHeader     atomic.Uint64
+	decodeErrs    atomic.Uint64
+	encodeErrs    atomic.Uint64
+	authRejects   atomic.Uint64
+}
+
+// NewTCP creates a TCP node delivering inbound messages to ep. Replicas
+// start listening immediately.
+func NewTCP(cfg TCPConfig, ep Endpoint) (*TCP, error) {
+	cfg.defaults()
+	t := &TCP{
+		cfg: cfg, ep: ep,
+		queues:      make(map[types.ReplicaID]*peerQueue),
+		clientsByID: make(map[types.ClientID]*connQueue),
+		conns:       make(map[net.Conn]struct{}),
+		done:        make(chan struct{}),
+	}
+	cp := make(map[types.ReplicaID]string, len(cfg.Peers))
+	for k, v := range cfg.Peers {
+		cp[k] = v
+	}
+	t.cfg.Peers = cp
+	if !cfg.IsClient {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+		}
+		t.listener = ln
+		t.wgReaders.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// SetPeers installs (or replaces) the replica address map. Call before any
+// Send — typically after all listeners have bound, when ephemeral ports
+// become known. Links already established keep their connection; the new
+// address applies from the next (re)dial.
+func (t *TCP) SetPeers(peers map[types.ReplicaID]string) {
+	cp := make(map[types.ReplicaID]string, len(peers))
+	for k, v := range peers {
+		cp[k] = v
+	}
+	t.mu.Lock()
+	t.cfg.Peers = cp
+	t.mu.Unlock()
+}
+
+// Addr returns the bound listen address (replicas only).
+func (t *TCP) Addr() string {
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}
+
+// Stats returns a snapshot of the transport's counters.
+func (t *TCP) Stats() TCPStats {
+	return TCPStats{
+		MsgsSent:      t.msgsSent.Load(),
+		BatchesSent:   t.batchesSent.Load(),
+		PeerDropped:   t.peerDropped.Load(),
+		ClientDropped: t.clientDropped.Load(),
+		Reconnects:    t.reconnects.Load(),
+		BadHeader:     t.badHeader.Load(),
+		DecodeErrs:    t.decodeErrs.Load(),
+		EncodeErrs:    t.encodeErrs.Load(),
+		AuthRejects:   t.authRejects.Load(),
+	}
+}
+
+// addConn registers a live connection; during shutdown it refuses so no new
+// connection outlives Close.
+func (t *TCP) addConn(c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closing {
+		return false
+	}
+	t.conns[c] = struct{}{}
+	return true
+}
+
+func (t *TCP) dropConn(c net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wgReaders.Done()
+	for {
+		c, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		if !t.addConn(c) {
+			c.Close()
+			return
+		}
+		t.wgReaders.Add(1)
+		go t.readLoop(c, false)
+	}
+}
+
+// readLoop reads one connection: stream header first (refusing version
+// mismatches), then batched frames. dialed marks connections this node
+// dialed (a client reading replies from a replica).
+func (t *TCP) readLoop(c net.Conn, dialed bool) {
+	var cq *connQueue
+	defer t.wgReaders.Done()
+	defer func() {
+		// The connection is gone in both directions: stop routing replies
+		// to its queue (the writer's own teardown also does this — the
+		// read side usually notices death first).
+		if cq != nil {
+			cq.dead.Store(true)
+			t.unregisterClient(cq.client, cq)
+			close(cq.quit)
+		}
+		t.dropConn(c)
+		c.Close()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	hdr, err := readHeader(br)
+	if err != nil {
+		t.badHeader.Add(1)
+		return
+	}
+	party := hdr.party()
+	if hdr.isClient && !dialed {
+		// A client link: replies to this client ride a dedicated bounded
+		// queue on the connection's write half.
+		cq = newConnQueue(t, c, hdr.client)
+		t.mu.Lock()
+		if t.closing {
+			t.mu.Unlock()
+			return
+		}
+		t.clientsByID[hdr.client] = cq
+		t.wgWriters.Add(1)
+		t.mu.Unlock()
+		go cq.run()
+	}
+	var lenb [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(lenb[:]))
+		if n <= 0 || n > t.cfg.MaxFrameBytes {
+			return
+		}
+		bp := getBuf()
+		if cap(*bp) < n {
+			*bp = make([]byte, n)
+		}
+		frame := (*bp)[:n]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			putBuf(bp)
+			return
+		}
+		err := forEachRecord(frame, func(tag, msg []byte) {
+			m, err := types.DecodeMessage(msg)
+			if err != nil {
+				t.decodeErrs.Add(1)
+				return
+			}
+			if !t.verify(party, m, tag) {
+				t.authRejects.Add(1)
+				return
+			}
+			if hdr.isClient {
+				t.ep.DeliverClient(hdr.client, m)
+			} else {
+				t.ep.DeliverReplica(hdr.replica, m)
+			}
+		})
+		putBuf(bp)
+		if err != nil {
+			// A framing error desyncs the stream: drop the connection and
+			// let the peer re-establish.
+			return
+		}
+	}
+}
+
+func (t *TCP) verify(party uint32, m types.Message, tag []byte) bool {
+	if t.cfg.Auth == nil || t.cfg.Auth.Scheme() == crypto.SchemeNone {
+		return true
+	}
+	bp := getBuf()
+	payload := m.AuthPayload((*bp)[:0])
+	ok := t.cfg.Auth.Verify(party, payload, tag)
+	*bp = payload[:0]
+	putBuf(bp)
+	return ok
+}
+
+// Send implements Transport: enqueue-only, per-peer queue, backpressure on
+// a connected-but-slow peer, drop-with-counter on an unreachable one.
+func (t *TCP) Send(to types.ReplicaID, m types.Message) error {
+	q, err := t.peerQueueFor(to)
+	if err != nil {
+		return err
+	}
+	return q.enqueue(m)
+}
+
+// SendClient implements Transport. Replica-to-client messages ride the
+// bounded queue of the connection the client dialed; overflow or a dead
+// connection drops the reply (counted) — never blocks, never cascades.
+func (t *TCP) SendClient(c types.ClientID, m types.Message) error {
+	t.mu.Lock()
+	q := t.clientsByID[c]
+	t.mu.Unlock()
+	if q == nil {
+		return fmt.Errorf("transport: client %d not connected", c)
+	}
+	q.enqueue(m)
+	return nil
+}
+
+func (t *TCP) peerQueueFor(to types.ReplicaID) (*peerQueue, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closing {
+		return nil, fmt.Errorf("transport: closed")
+	}
+	if q, ok := t.queues[to]; ok {
+		return q, nil
+	}
+	if _, ok := t.cfg.Peers[to]; !ok {
+		return nil, fmt.Errorf("transport: unknown replica %d", to)
+	}
+	q := &peerQueue{
+		t:     t,
+		id:    to,
+		party: crypto.PartyID(to),
+		ch:    make(chan types.Message, t.cfg.QueueDepth),
+	}
+	t.queues[to] = q
+	t.wgWriters.Add(1)
+	go q.run()
+	return q, nil
+}
+
+// Close implements Transport: stop accepting work, give every writer up to
+// DrainTimeout to flush what is queued, then tear the connections down.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closing {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closing = true
+	// Bound the drain: a writer blocked on a stalled destination unblocks
+	// at this deadline instead of holding Close hostage, and writeFrame
+	// caps later deadlines at it. Stored before done closes so no drain
+	// can observe a zero deadline.
+	deadline := time.Now().Add(t.cfg.DrainTimeout)
+	t.closeDeadline.Store(deadline.UnixNano())
+	close(t.done)
+	if t.listener != nil {
+		t.listener.Close()
+	}
+	for c := range t.conns {
+		c.SetWriteDeadline(deadline)
+	}
+	t.mu.Unlock()
+
+	t.wgWriters.Wait()
+	// Writers closed their own connections; sweep the rest (inbound
+	// replica links have no writer) so the read loops unblock.
+	t.mu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wgReaders.Wait()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Outbound queues
+// ---------------------------------------------------------------------------
+
+// peerQueue is the outbound queue and writer goroutine of one dialed link
+// (replica→replica, or client→replica). The writer owns the connection:
+// it dials lazily, redials with exponential backoff after failures, encodes
+// and tags messages, and coalesces bursts into multi-message frames.
+type peerQueue struct {
+	t         *TCP
+	id        types.ReplicaID
+	party     uint32
+	ch        chan types.Message
+	connected atomic.Bool
+}
+
+// enqueue applies the replica-link overflow policy: backpressure while the
+// link is up, drop-with-counter while it is down (the writer is then in
+// dial backoff and consensus retransmission owns recovery — blocking the
+// event loop on a dead peer would trade liveness for nothing).
+func (q *peerQueue) enqueue(m types.Message) error {
+	select {
+	case q.ch <- m:
+		return nil
+	default:
+	}
+	if !q.connected.Load() {
+		q.t.peerDropped.Add(1)
+		return nil
+	}
+	select {
+	case q.ch <- m:
+		return nil
+	case <-q.t.done:
+		return fmt.Errorf("transport: closed")
+	}
+}
+
+func (q *peerQueue) addr() string {
+	q.t.mu.Lock()
+	defer q.t.mu.Unlock()
+	return q.t.cfg.Peers[q.id]
+}
+
+func (q *peerQueue) run() {
+	t := q.t
+	defer t.wgWriters.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			t.dropConn(conn)
+			conn.Close()
+		}
+	}()
+	backoff := t.cfg.ReconnectBackoff
+	var nextDial time.Time
+	everConnected := false
+	scratch := make([]byte, 0, 512)
+	frame := make([]byte, 0, 4096)
+
+	for {
+		var first types.Message
+		select {
+		case first = <-q.ch:
+		case <-t.done:
+			if conn != nil {
+				t.drainOnClose(conn, q.ch, q.party, &frame, &scratch)
+			}
+			return
+		}
+
+		frame = frame[:0]
+		count := 0
+		frame, count = q.batch(frame, first, &scratch)
+		if count == 0 {
+			continue
+		}
+
+		if conn == nil {
+			now := time.Now()
+			if now.Before(nextDial) {
+				t.peerDropped.Add(uint64(count))
+				continue
+			}
+			c, err := net.DialTimeout("tcp", q.addr(), t.cfg.DialTimeout)
+			if err != nil {
+				nextDial = time.Now().Add(backoff)
+				backoff = min(2*backoff, t.cfg.ReconnectBackoffMax)
+				t.peerDropped.Add(uint64(count))
+				continue
+			}
+			if !t.addConn(c) {
+				c.Close()
+				return
+			}
+			hdr := appendHeader(nil, t.cfg.IsClient, t.cfg.Self, t.cfg.SelfClient)
+			if _, err := c.Write(hdr); err != nil {
+				t.dropConn(c)
+				c.Close()
+				nextDial = time.Now().Add(backoff)
+				backoff = min(2*backoff, t.cfg.ReconnectBackoffMax)
+				t.peerDropped.Add(uint64(count))
+				continue
+			}
+			conn = c
+			q.connected.Store(true)
+			backoff = t.cfg.ReconnectBackoff
+			if everConnected {
+				t.reconnects.Add(1)
+			}
+			everConnected = true
+			if t.cfg.IsClient {
+				// Clients read their replies off the dialed connection.
+				t.wgReaders.Add(1)
+				go t.readLoop(c, true)
+			}
+		}
+
+		if err := t.writeFrame(conn, frame, count); err != nil {
+			// Write failure OR timeout: the peer is not draining. Demote
+			// the link — close, count, redial with backoff — so a peer
+			// that wedges mid-connection is handled exactly like a dead
+			// one and can only ever stall senders for one WriteTimeout.
+			t.dropConn(conn)
+			conn.Close()
+			conn = nil
+			q.connected.Store(false)
+			nextDial = time.Now().Add(backoff)
+			backoff = min(2*backoff, t.cfg.ReconnectBackoffMax)
+			t.peerDropped.Add(uint64(count))
+			continue
+		}
+	}
+}
+
+// batch encodes first plus everything else queued right now (up to the
+// batch caps) into one frame, returning the frame and the message count.
+func (q *peerQueue) batch(frame []byte, first types.Message, scratch *[]byte) ([]byte, int) {
+	return batchInto(q.t, frame, q.ch, first, q.party, scratch)
+}
+
+// writeDeadline is the deadline for a write starting now: WriteTimeout
+// ahead, capped at the Close drain deadline once shutdown has started.
+func (t *TCP) writeDeadline() time.Time {
+	dl := time.Now().Add(t.cfg.WriteTimeout)
+	if cd := t.closeDeadline.Load(); cd != 0 {
+		if c := time.Unix(0, cd); c.Before(dl) {
+			dl = c
+		}
+	}
+	return dl
+}
+
+// writeFrame writes one batched frame under the steady-state write timeout
+// and bumps the counters. An error (including a timeout: the destination
+// did not drain) means the connection must be considered failed.
+func (t *TCP) writeFrame(conn net.Conn, frame []byte, count int) error {
+	conn.SetWriteDeadline(t.writeDeadline())
+	if _, err := conn.Write(frame); err != nil {
+		return err
+	}
+	t.batchesSent.Add(1)
+	t.msgsSent.Add(uint64(count))
+	return nil
+}
+
+// drainOnClose flushes whatever a queue still holds when the transport
+// closes, all of it under the one Close-wide drain deadline (per-write
+// timeouts would let a stalled destination stretch Close far past its
+// bound).
+func (t *TCP) drainOnClose(conn net.Conn, ch chan types.Message, party uint32, frame, scratch *[]byte) {
+	conn.SetWriteDeadline(time.Unix(0, t.closeDeadline.Load()))
+	for {
+		select {
+		case m := <-ch:
+			f, n := batchInto(t, (*frame)[:0], ch, m, party, scratch)
+			*frame = f
+			if n == 0 {
+				continue
+			}
+			if _, err := conn.Write(f); err != nil {
+				return
+			}
+			t.batchesSent.Add(1)
+			t.msgsSent.Add(uint64(n))
+		default:
+			return
+		}
+	}
+}
+
+// batchInto is the shared frame assembly of both queue kinds.
+func batchInto(t *TCP, frame []byte, ch chan types.Message, first types.Message, party uint32, scratch *[]byte) ([]byte, int) {
+	frame = append(frame, 0, 0, 0, 0)
+	count := 0
+	add := func(m types.Message) {
+		out, err := appendRecord(frame, t.cfg.Auth, party, m, scratch)
+		if err != nil {
+			t.encodeErrs.Add(1) // unregistered type: local bug, message dropped
+			return
+		}
+		frame = out
+		count++
+	}
+	add(first)
+collect:
+	for count < t.cfg.MaxBatchMsgs && len(frame) < t.cfg.MaxBatchBytes {
+		select {
+		case m := <-ch:
+			add(m)
+		default:
+			break collect
+		}
+	}
+	if count == 0 {
+		return frame[:0], 0
+	}
+	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
+	return frame, count
+}
+
+// connQueue is the write half of an inbound client connection: the bounded
+// reply queue of exactly one client, drained by a dedicated writer.
+type connQueue struct {
+	t      *TCP
+	conn   net.Conn
+	client types.ClientID
+	party  uint32
+	ch     chan types.Message
+	// quit wakes an idle writer when the read loop sees the connection
+	// die, so disconnected clients do not accumulate sleeping writers.
+	quit chan struct{}
+	dead atomic.Bool
+}
+
+func newConnQueue(t *TCP, c net.Conn, client types.ClientID) *connQueue {
+	return &connQueue{
+		t: t, conn: c, client: client,
+		party: crypto.ClientPartyID(client),
+		ch:    make(chan types.Message, t.cfg.ClientQueueDepth),
+		quit:  make(chan struct{}),
+	}
+}
+
+// unregisterClient removes a dead client link from the routing map (only
+// if it still points at q — a reconnected client's fresh queue must not be
+// evicted by its predecessor's teardown), so churning client populations
+// do not grow the map and the queues without bound.
+func (t *TCP) unregisterClient(c types.ClientID, q *connQueue) {
+	t.mu.Lock()
+	if t.clientsByID[c] == q {
+		delete(t.clientsByID, c)
+	}
+	t.mu.Unlock()
+}
+
+// enqueue applies the client-link overflow policy: never block, drop and
+// count when the queue is full or the connection already died.
+func (q *connQueue) enqueue(m types.Message) {
+	if q.dead.Load() {
+		q.t.clientDropped.Add(1)
+		return
+	}
+	select {
+	case q.ch <- m:
+	default:
+		q.t.clientDropped.Add(1)
+	}
+}
+
+func (q *connQueue) run() {
+	t := q.t
+	defer t.wgWriters.Done()
+	defer func() {
+		q.dead.Store(true)
+		t.unregisterClient(q.client, q)
+		t.dropConn(q.conn)
+		q.conn.Close()
+	}()
+	// Announce ourselves first: the client's read loop verifies our wire
+	// version before interpreting any frame.
+	hdr := appendHeader(nil, false, t.cfg.Self, 0)
+	if _, err := q.conn.Write(hdr); err != nil {
+		return
+	}
+	scratch := make([]byte, 0, 512)
+	frame := make([]byte, 0, 4096)
+	for {
+		var first types.Message
+		select {
+		case first = <-q.ch:
+		case <-q.quit:
+			return
+		case <-t.done:
+			t.drainOnClose(q.conn, q.ch, q.party, &frame, &scratch)
+			return
+		}
+		count := 0
+		frame, count = batchInto(t, frame[:0], q.ch, first, q.party, &scratch)
+		if count == 0 {
+			continue
+		}
+		if err := t.writeFrame(q.conn, frame, count); err != nil {
+			t.clientDropped.Add(uint64(count))
+			return
+		}
+	}
+}

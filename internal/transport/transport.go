@@ -1,22 +1,46 @@
 // Package transport provides the message transports of the replica runtime:
 // an in-process transport for tests and single-machine deployments, and a
-// TCP transport (gob-encoded frames) for real multi-host deployments via
-// cmd/rccnode and cmd/rccclient.
+// TCP transport (binary wire format v2, see wire.go) for real multi-host
+// deployments via cmd/rccnode and cmd/rccclient.
 //
-// Authentication: every frame carries the sender, an optional authenticator
-// tag over the message's AuthPayload, and the gob-encoded message. The
-// receiving endpoint verifies the tag against the configured
-// crypto.Authenticator before delivering.
+// # Non-blocking contract
+//
+// Send and SendClient are enqueue-only on every transport: they place the
+// message on a bounded per-destination queue and return without performing
+// encoding, authentication, or network I/O. A dedicated writer goroutine per
+// destination drains its queue, encodes messages through the binary codec in
+// internal/types, coalesces everything queued at that moment into one
+// multi-message frame, and hands the kernel a single buffer — so the
+// consensus event loop never waits on a socket, and one slow destination
+// never delays traffic to any other.
+//
+// The two link classes overflow differently:
+//
+//   - Replica links (peer connections a node dials) exert BACKPRESSURE: when
+//     a healthy peer's queue is full, Send blocks until space frees. While a
+//     peer is unreachable the writer drops instead (counted, see Stats) and
+//     redials with exponential backoff, so a dead peer can never wedge the
+//     event loop — consensus timeouts and retransmission own that failure.
+//     The backpressure is bounded: a peer that accepts the connection but
+//     stops draining it fails its next write within WriteTimeout, at which
+//     point the link demotes to the same drop-while-down policy.
+//   - Client links (inbound connections from clients) DROP on overflow,
+//     with an observable counter: a reply dropped for one stalled client
+//     costs nothing — the block is durable and the client collects its f+1
+//     replies from other replicas or retries.
+//
+// Authentication: every record carries an authenticator tag over the
+// message's AuthPayload, computed on the writer goroutine and verified
+// against the sender identity announced in the connection's stream header
+// before delivery.
 package transport
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
-	"net"
 	"sync"
+	"sync/atomic"
 
-	"repro/internal/crypto"
 	"repro/internal/types"
 )
 
@@ -28,47 +52,22 @@ type Endpoint interface {
 	DeliverClient(from types.ClientID, m types.Message)
 }
 
-// Transport sends messages to remote nodes.
+// Transport sends messages to remote nodes. Both methods are enqueue-only:
+// see the package documentation for the queueing and overflow model.
 type Transport interface {
-	// Send transmits m to replica `to`.
+	// Send enqueues m for replica `to`.
 	Send(to types.ReplicaID, m types.Message) error
-	// SendClient transmits m to client c.
+	// SendClient enqueues m for client c.
 	SendClient(c types.ClientID, m types.Message) error
-	// Close releases resources.
+	// Close drains the outbound queues (bounded by the drain timeout) and
+	// releases resources.
 	Close() error
 }
 
-func init() {
-	// Register every concrete message type for gob transport.
-	gob.Register(&types.ClientRequest{})
-	gob.Register(&types.ClientReply{})
-	gob.Register(&types.SwitchInstance{})
-	gob.Register(&types.PrePrepare{})
-	gob.Register(&types.Prepare{})
-	gob.Register(&types.Commit{})
-	gob.Register(&types.Checkpoint{})
-	gob.Register(&types.ViewChange{})
-	gob.Register(&types.NewView{})
-	gob.Register(&types.Failure{})
-	gob.Register(&types.Stop{})
-	gob.Register(&types.OrderRequest{})
-	gob.Register(&types.SpecResponse{})
-	gob.Register(&types.CommitCert{})
-	gob.Register(&types.LocalCommit{})
-	gob.Register(&types.FillHole{})
-	gob.Register(&types.IHatePrimary{})
-	gob.Register(&types.SignShare{})
-	gob.Register(&types.FullCommitProof{})
-	gob.Register(&types.SignStateShare{})
-	gob.Register(&types.FullExecuteProof{})
-	gob.Register(&types.HSProposal{})
-	gob.Register(&types.HSVote{})
-	gob.Register(&types.HSNewView{})
-	gob.Register(&types.EpochChange{})
-	gob.Register(&types.NewEpoch{})
-}
-
-// Frame is the wire envelope.
+// Frame is the logical envelope of one message: who sent it, the
+// authenticator tag, and the message itself. The TCP stream encodes the
+// sender once per connection (wire.go); Frame plus Marshal/Unmarshal exist
+// for tests and wire-size measurements that want a self-contained record.
 type Frame struct {
 	FromReplica types.ReplicaID
 	FromClient  types.ClientID
@@ -77,350 +76,224 @@ type Frame struct {
 	Msg         types.Message
 }
 
+// Marshal encodes a frame to self-contained bytes via the binary codec.
+func Marshal(f *Frame) ([]byte, error) {
+	buf := make([]byte, 0, 256)
+	if f.IsClient {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(f.FromReplica))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.FromClient))
+	if len(f.Tag) > maxTagLen {
+		return nil, fmt.Errorf("transport: tag too long")
+	}
+	buf = append(buf, byte(len(f.Tag)))
+	buf = append(buf, f.Tag...)
+	return types.AppendMessage(buf, f.Msg)
+}
+
+// Unmarshal decodes a frame from bytes.
+func Unmarshal(b []byte) (*Frame, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("transport: short frame")
+	}
+	f := &Frame{
+		IsClient:    b[0] != 0,
+		FromReplica: types.ReplicaID(binary.BigEndian.Uint16(b[1:])),
+		FromClient:  types.ClientID(binary.BigEndian.Uint32(b[3:])),
+	}
+	tagLen := int(b[7])
+	b = b[8:]
+	if len(b) < tagLen {
+		return nil, fmt.Errorf("transport: truncated tag")
+	}
+	if tagLen > 0 {
+		f.Tag = append([]byte(nil), b[:tagLen]...)
+	}
+	m, err := types.DecodeMessage(b[tagLen:])
+	if err != nil {
+		return nil, err
+	}
+	f.Msg = m
+	return f, nil
+}
+
 // ---------------------------------------------------------------------------
 // In-process transport
 // ---------------------------------------------------------------------------
 
-// Memory is an in-process transport hub connecting replicas and clients by
-// direct delivery. Safe for concurrent use.
+// Queue depths of the in-process transport, mirroring the TCP defaults.
+const (
+	// MemQueueDepth bounds each replica endpoint's delivery queue.
+	MemQueueDepth = 4096
+	// MemClientQueueDepth bounds each client endpoint's delivery queue.
+	MemClientQueueDepth = 1024
+)
+
+// Memory is an in-process transport hub connecting replicas and clients.
+// It exercises the same non-blocking contract as the TCP transport: Send
+// enqueues onto the destination endpoint's bounded queue and a per-endpoint
+// delivery goroutine hands messages to the Endpoint, so in-process tests see
+// the same semantics (asynchrony, replica backpressure, client drops) as a
+// real deployment. Safe for concurrent use.
 type Memory struct {
 	mu       sync.RWMutex
-	replicas map[types.ReplicaID]Endpoint
-	clients  map[types.ClientID]Endpoint
+	replicas map[types.ReplicaID]*memEndpoint
+	clients  map[types.ClientID]*memEndpoint
+	dropped  atomic.Uint64
 }
 
 // NewMemory creates an empty hub.
 func NewMemory() *Memory {
 	return &Memory{
-		replicas: make(map[types.ReplicaID]Endpoint),
-		clients:  make(map[types.ClientID]Endpoint),
+		replicas: make(map[types.ReplicaID]*memEndpoint),
+		clients:  make(map[types.ClientID]*memEndpoint),
 	}
 }
 
+type memItem struct {
+	fromReplica types.ReplicaID
+	fromClient  types.ClientID
+	isClient    bool
+	m           types.Message
+}
+
+// memEndpoint is one attached node: its bounded inbound queue and the
+// delivery goroutine draining it.
+type memEndpoint struct {
+	ep   Endpoint
+	ch   chan memItem
+	done chan struct{}
+	once sync.Once
+}
+
+func startMemEndpoint(ep Endpoint, depth int) *memEndpoint {
+	me := &memEndpoint{ep: ep, ch: make(chan memItem, depth), done: make(chan struct{})}
+	go me.run()
+	return me
+}
+
+func (me *memEndpoint) run() {
+	for {
+		select {
+		case it := <-me.ch:
+			if it.isClient {
+				me.ep.DeliverClient(it.fromClient, it.m)
+			} else {
+				me.ep.DeliverReplica(it.fromReplica, it.m)
+			}
+		case <-me.done:
+			return
+		}
+	}
+}
+
+func (me *memEndpoint) stop() { me.once.Do(func() { close(me.done) }) }
+
 // AttachReplica registers replica r's endpoint and returns its transport.
 func (h *Memory) AttachReplica(r types.ReplicaID, ep Endpoint) Transport {
+	me := startMemEndpoint(ep, MemQueueDepth)
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.replicas[r] = ep
-	return &memTransport{hub: h, replica: r}
+	if prev := h.replicas[r]; prev != nil {
+		prev.stop()
+	}
+	h.replicas[r] = me
+	h.mu.Unlock()
+	return &memTransport{hub: h, replica: r, me: me}
 }
 
 // AttachClient registers client c's endpoint and returns its transport.
 func (h *Memory) AttachClient(c types.ClientID, ep Endpoint) Transport {
+	me := startMemEndpoint(ep, MemClientQueueDepth)
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.clients[c] = ep
-	return &memTransport{hub: h, client: c, isClient: true}
+	if prev := h.clients[c]; prev != nil {
+		prev.stop()
+	}
+	h.clients[c] = me
+	h.mu.Unlock()
+	return &memTransport{hub: h, client: c, isClient: true, me: me}
 }
 
-// Detach removes replica r (models a crash).
+// Detach removes replica r (models a crash): its delivery goroutine stops
+// and queued messages are discarded.
 func (h *Memory) Detach(r types.ReplicaID) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	me := h.replicas[r]
 	delete(h.replicas, r)
+	h.mu.Unlock()
+	if me != nil {
+		me.stop()
+	}
 }
+
+// Dropped returns how many client-bound messages overflowed a client
+// endpoint's queue and were discarded.
+func (h *Memory) Dropped() uint64 { return h.dropped.Load() }
 
 type memTransport struct {
 	hub      *Memory
 	replica  types.ReplicaID
 	client   types.ClientID
 	isClient bool
+	// me is the endpoint this transport's Attach created: Close tears down
+	// only it, never a successor registered under the same ID.
+	me *memEndpoint
 }
 
+// Send enqueues m for replica `to`. Replica queues exert backpressure: a
+// full queue blocks until the destination drains or detaches.
 func (t *memTransport) Send(to types.ReplicaID, m types.Message) error {
 	t.hub.mu.RLock()
-	ep := t.hub.replicas[to]
+	me := t.hub.replicas[to]
 	t.hub.mu.RUnlock()
-	if ep == nil {
+	if me == nil {
 		return fmt.Errorf("transport: replica %d not attached", to)
 	}
-	if t.isClient {
-		ep.DeliverClient(t.client, m)
-	} else {
-		ep.DeliverReplica(t.replica, m)
+	it := memItem{fromReplica: t.replica, fromClient: t.client, isClient: t.isClient, m: m}
+	select {
+	case me.ch <- it:
+		return nil
+	case <-me.done:
+		return fmt.Errorf("transport: replica %d detached", to)
 	}
-	return nil
 }
 
+// SendClient enqueues m for client c. Client queues drop on overflow (the
+// hub counts drops): a stalled client must never be able to exert
+// backpressure on a replica.
 func (t *memTransport) SendClient(c types.ClientID, m types.Message) error {
 	t.hub.mu.RLock()
-	ep := t.hub.clients[c]
+	me := t.hub.clients[c]
 	t.hub.mu.RUnlock()
-	if ep == nil {
+	if me == nil {
 		return fmt.Errorf("transport: client %d not attached", c)
 	}
-	ep.DeliverReplica(t.replica, m)
+	select {
+	case me.ch <- memItem{fromReplica: t.replica, m: m}:
+	default:
+		t.hub.dropped.Add(1)
+	}
 	return nil
 }
 
-func (t *memTransport) Close() error { return nil }
-
-// ---------------------------------------------------------------------------
-// TCP transport
-// ---------------------------------------------------------------------------
-
-// TCPConfig parameterizes a TCP node.
-type TCPConfig struct {
-	// Self is the local replica (ignored for clients).
-	Self types.ReplicaID
-	// SelfClient is the local client identity when IsClient.
-	SelfClient types.ClientID
-	// IsClient marks a client node (listens on no port, dials replicas).
-	IsClient bool
-	// Listen is the local listen address (replicas only).
-	Listen string
-	// Peers maps replica IDs to their dialable addresses.
-	Peers map[types.ReplicaID]string
-	// Auth authenticates frames; nil disables authentication.
-	Auth crypto.Authenticator
-}
-
-// TCP is a TCP transport node. Outbound connections are dialed lazily and
-// cached; inbound frames are verified and handed to the endpoint.
-type TCP struct {
-	cfg      TCPConfig
-	ep       Endpoint
-	listener net.Listener
-
-	mu    sync.Mutex
-	conns map[string]*tcpConn
-	// accepted tracks inbound connections so Close can unblock their read
-	// loops.
-	accepted map[net.Conn]struct{}
-	// clientsByID maps client identities to the inbound connections they
-	// dialed, so replies flow back over the same connection.
-	clientsByID map[types.ClientID]*tcpConn
-	done        chan struct{}
-	wg          sync.WaitGroup
-}
-
-type tcpConn struct {
-	mu  sync.Mutex
-	enc *gob.Encoder
-	c   net.Conn
-}
-
-// NewTCP creates a TCP node delivering inbound messages to ep. Replicas
-// start listening immediately.
-func NewTCP(cfg TCPConfig, ep Endpoint) (*TCP, error) {
-	t := &TCP{
-		cfg: cfg, ep: ep,
-		conns:       make(map[string]*tcpConn),
-		accepted:    make(map[net.Conn]struct{}),
-		clientsByID: make(map[types.ClientID]*tcpConn),
-		done:        make(chan struct{}),
-	}
-	if !cfg.IsClient {
-		ln, err := net.Listen("tcp", cfg.Listen)
-		if err != nil {
-			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+// Close detaches this node from the hub, stopping its delivery goroutine.
+// If the ID has since been re-attached (a restarted node on the same hub),
+// only this transport's own endpoint is stopped — the successor stays.
+func (t *memTransport) Close() error {
+	h := t.hub
+	h.mu.Lock()
+	if t.isClient {
+		if h.clients[t.client] == t.me {
+			delete(h.clients, t.client)
 		}
-		t.listener = ln
-		t.wg.Add(1)
-		go t.acceptLoop()
-	}
-	return t, nil
-}
-
-// SetPeers installs (or replaces) the replica address map. Call before any
-// Send — typically after all listeners have bound, when ephemeral ports
-// become known.
-func (t *TCP) SetPeers(peers map[types.ReplicaID]string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	cp := make(map[types.ReplicaID]string, len(peers))
-	for k, v := range peers {
-		cp[k] = v
-	}
-	t.cfg.Peers = cp
-}
-
-// Addr returns the bound listen address (replicas only).
-func (t *TCP) Addr() string {
-	if t.listener == nil {
-		return ""
-	}
-	return t.listener.Addr().String()
-}
-
-func (t *TCP) acceptLoop() {
-	defer t.wg.Done()
-	for {
-		c, err := t.listener.Accept()
-		if err != nil {
-			return
-		}
-		t.mu.Lock()
-		t.accepted[c] = struct{}{}
-		t.mu.Unlock()
-		t.wg.Add(1)
-		go t.readLoop(c)
-	}
-}
-
-func (t *TCP) readLoop(c net.Conn) {
-	defer t.wg.Done()
-	defer func() {
-		c.Close()
-		t.mu.Lock()
-		delete(t.accepted, c)
-		t.mu.Unlock()
-	}()
-	dec := gob.NewDecoder(c)
-	// The write half of the same connection, registered lazily when the
-	// first client frame identifies the peer.
-	wc := &tcpConn{enc: gob.NewEncoder(c), c: c}
-	for {
-		var f Frame
-		if err := dec.Decode(&f); err != nil {
-			_ = err // EOF or closed; either way this connection is done
-			return
-		}
-		if f.Msg == nil || !t.verify(&f) {
-			continue // drop malformed or unauthenticated frames
-		}
-		if f.IsClient {
-			t.mu.Lock()
-			if _, known := t.clientsByID[f.FromClient]; !known {
-				t.clientsByID[f.FromClient] = wc
-			}
-			t.mu.Unlock()
-			t.ep.DeliverClient(f.FromClient, f.Msg)
-		} else {
-			t.ep.DeliverReplica(f.FromReplica, f.Msg)
-		}
-	}
-}
-
-func (t *TCP) verify(f *Frame) bool {
-	if t.cfg.Auth == nil || t.cfg.Auth.Scheme() == crypto.SchemeNone {
-		return true
-	}
-	var from uint32
-	if f.IsClient {
-		from = crypto.ClientPartyID(f.FromClient)
 	} else {
-		from = crypto.PartyID(f.FromReplica)
+		if h.replicas[t.replica] == t.me {
+			delete(h.replicas, t.replica)
+		}
 	}
-	return t.cfg.Auth.Verify(from, f.Msg.AuthPayload(nil), f.Tag)
-}
-
-func (t *TCP) frame(to uint32, m types.Message) *Frame {
-	f := &Frame{FromReplica: t.cfg.Self, FromClient: t.cfg.SelfClient, IsClient: t.cfg.IsClient, Msg: m}
-	if t.cfg.Auth != nil && t.cfg.Auth.Scheme() != crypto.SchemeNone {
-		f.Tag = t.cfg.Auth.Tag(to, m.AuthPayload(nil))
-	}
-	return f
-}
-
-// connTo returns (dialing if needed) the cached connection to addr.
-func (t *TCP) connTo(addr string) (*tcpConn, error) {
-	t.mu.Lock()
-	if c, ok := t.conns[addr]; ok {
-		t.mu.Unlock()
-		return c, nil
-	}
-	t.mu.Unlock()
-
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	tc := &tcpConn{enc: gob.NewEncoder(c), c: c}
-	t.mu.Lock()
-	if prev, ok := t.conns[addr]; ok {
-		t.mu.Unlock()
-		c.Close()
-		return prev, nil
-	}
-	t.conns[addr] = tc
-	t.mu.Unlock()
-	// Replicas answer clients over the same connection; clients must read
-	// their inbound frames from the dialed connection.
-	if t.cfg.IsClient {
-		t.wg.Add(1)
-		go t.readLoop(c)
-	}
-	return tc, nil
-}
-
-func (t *TCP) sendTo(addr string, f *Frame) error {
-	tc, err := t.connTo(addr)
-	if err != nil {
-		return err
-	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if err := tc.enc.Encode(f); err != nil {
-		t.mu.Lock()
-		delete(t.conns, addr)
-		t.mu.Unlock()
-		tc.c.Close()
-		return err
-	}
+	h.mu.Unlock()
+	t.me.stop()
 	return nil
-}
-
-// Send implements Transport.
-func (t *TCP) Send(to types.ReplicaID, m types.Message) error {
-	t.mu.Lock()
-	addr, ok := t.cfg.Peers[to]
-	t.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("transport: unknown replica %d", to)
-	}
-	return t.sendTo(addr, t.frame(crypto.PartyID(to), m))
-}
-
-// SendClient implements Transport. Replica-to-client messages flow over the
-// connection the client dialed; the replica tracks client connections by
-// identity from inbound frames.
-func (t *TCP) SendClient(c types.ClientID, m types.Message) error {
-	t.mu.Lock()
-	tc, ok := t.clientsByID[c]
-	t.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("transport: client %d not connected", c)
-	}
-	f := t.frame(crypto.ClientPartyID(c), m)
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	return tc.enc.Encode(f)
-}
-
-// Close implements Transport.
-func (t *TCP) Close() error {
-	close(t.done)
-	if t.listener != nil {
-		t.listener.Close()
-	}
-	t.mu.Lock()
-	for _, c := range t.conns {
-		c.c.Close()
-	}
-	// Force accepted connections closed so their read loops unblock.
-	for c := range t.accepted {
-		c.Close()
-	}
-	t.mu.Unlock()
-	t.wg.Wait()
-	return nil
-}
-
-// Marshal encodes a frame to bytes (used by tests to measure wire size).
-func Marshal(f *Frame) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// Unmarshal decodes a frame from bytes.
-func Unmarshal(b []byte) (*Frame, error) {
-	var f Frame
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
-		return nil, err
-	}
-	return &f, nil
 }

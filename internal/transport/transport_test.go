@@ -18,7 +18,7 @@ type sink struct {
 	notify   chan struct{}
 }
 
-func newSink() *sink { return &sink{notify: make(chan struct{}, 64)} }
+func newSink() *sink { return &sink{notify: make(chan struct{}, 4096)} }
 
 func (s *sink) DeliverReplica(from types.ReplicaID, m types.Message) {
 	s.mu.Lock()
@@ -53,6 +53,16 @@ func (s *sink) count() int {
 	return len(s.msgs)
 }
 
+func (s *sink) first(t *testing.T) types.Message {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.msgs) == 0 {
+		t.Fatal("no messages delivered")
+	}
+	return s.msgs[0]
+}
+
 func TestMemoryHubRoundTrip(t *testing.T) {
 	hub := NewMemory()
 	a, b := newSink(), newSink()
@@ -64,7 +74,7 @@ func TestMemoryHubRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.wait(t, 1)
-	got := b.msgs[0].(*types.Prepare)
+	got := b.first(t).(*types.Prepare)
 	if got.Round != 2 || b.replicas[0] != 0 {
 		t.Fatalf("delivered %+v from %d", got, b.replicas[0])
 	}
@@ -84,6 +94,72 @@ func TestMemoryDetachModelsCrash(t *testing.T) {
 	}
 }
 
+// blockingEndpoint wedges every delivery until released — a node whose
+// event loop has stopped draining.
+type blockingEndpoint struct{ release chan struct{} }
+
+func (b *blockingEndpoint) DeliverReplica(types.ReplicaID, types.Message) { <-b.release }
+func (b *blockingEndpoint) DeliverClient(types.ClientID, types.Message)   { <-b.release }
+
+// TestMemorySendIsEnqueueOnly pins the non-blocking contract of the
+// in-process hub: a destination endpoint stuck inside Deliver must not make
+// Send block (until the bounded queue fills), and traffic to other
+// endpoints must flow untouched.
+func TestMemorySendIsEnqueueOnly(t *testing.T) {
+	hub := NewMemory()
+	stuck := &blockingEndpoint{release: make(chan struct{})}
+	defer close(stuck.release)
+	fast := newSink()
+	ta := hub.AttachReplica(0, newSink())
+	hub.AttachReplica(1, stuck)
+	hub.AttachReplica(2, fast)
+
+	m := types.NewPrepare(0, 0, 0, 1, types.ZeroDigest)
+	const sends = 64 // well under MemQueueDepth: never backpressures
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < sends; i++ {
+			if err := ta.Send(1, m); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := ta.Send(2, m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send blocked on a stuck endpoint")
+	}
+	fast.wait(t, sends)
+}
+
+// TestMemoryClientOverflowDrops pins the client-link drop policy of the
+// in-process hub, with the drop counter observable.
+func TestMemoryClientOverflowDrops(t *testing.T) {
+	hub := NewMemory()
+	stuck := &blockingEndpoint{release: make(chan struct{})}
+	defer close(stuck.release)
+	ta := hub.AttachReplica(0, newSink())
+	hub.AttachClient(7, stuck)
+
+	reply := &types.ClientReply{Client: 7, Seq: 1}
+	// One delivery in flight + a full queue, then every further send drops.
+	const sends = MemClientQueueDepth + 16
+	for i := 0; i < sends; i++ {
+		if err := ta.SendClient(7, reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := hub.Dropped(); d == 0 {
+		t.Fatal("overflowing a client queue recorded no drops")
+	}
+}
+
 func tcpPair(t *testing.T, auth0, auth1 crypto.Authenticator) (*TCP, *TCP, *sink, *sink) {
 	t.Helper()
 	s0, s1 := newSink(), newSink()
@@ -95,8 +171,8 @@ func tcpPair(t *testing.T, auth0, auth1 crypto.Authenticator) (*TCP, *TCP, *sink
 	if err != nil {
 		t.Fatal(err)
 	}
-	t0.cfg.Peers = map[types.ReplicaID]string{1: t1.Addr()}
-	t1.cfg.Peers = map[types.ReplicaID]string{0: t0.Addr()}
+	t0.SetPeers(map[types.ReplicaID]string{1: t1.Addr()})
+	t1.SetPeers(map[types.ReplicaID]string{0: t0.Addr()})
 	t.Cleanup(func() { t0.Close(); t1.Close() })
 	return t0, t1, s0, s1
 }
@@ -110,7 +186,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	s1.wait(t, 1)
-	got := s1.msgs[0].(*types.PrePrepare)
+	got := s1.first(t).(*types.PrePrepare)
 	if got.Round != 5 || got.Batch == nil || got.Batch.Digest() != b.Digest() {
 		t.Fatalf("round-trip mangled the message: %+v", got)
 	}
@@ -119,32 +195,51 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTCPAuthenticationRejectsForgery: a sender with the wrong MAC secret
+// claims replica 0's identity; its records must be dropped while a properly
+// keyed sender's records (same claimed identity) are delivered.
 func TestTCPAuthenticationRejectsForgery(t *testing.T) {
 	good := []byte("shared-secret")
-	auth0 := crypto.NewMAC(crypto.PartyID(0), good)
-	auth1 := crypto.NewMAC(crypto.PartyID(1), good)
-	evil := crypto.NewMAC(crypto.PartyID(0), []byte("wrong-secret"))
+	s1 := newSink()
+	t1, err := NewTCP(TCPConfig{Self: 1, Listen: "127.0.0.1:0", Auth: crypto.NewMAC(crypto.PartyID(1), good)}, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	peers := map[types.ReplicaID]string{1: t1.Addr()}
 
-	t0, _, _, s1 := tcpPair(t, auth0, auth1)
-	m := types.NewCommit(0, 0, 0, 1, types.Hash([]byte("ok")))
-	if err := t0.Send(1, m); err != nil {
+	evil, err := NewTCP(TCPConfig{
+		Self: 0, Listen: "127.0.0.1:0", Peers: peers,
+		Auth: crypto.NewMAC(crypto.PartyID(0), []byte("wrong-secret")),
+	}, newSink())
+	if err != nil {
 		t.Fatal(err)
 	}
-	s1.wait(t, 1)
+	defer evil.Close()
+	if err := evil.Send(1, types.NewCommit(0, 0, 0, 2, types.Hash([]byte("forged")))); err != nil {
+		t.Fatal(err)
+	}
 
-	// Now forge: same wire path, wrong key. The frame must be dropped.
-	t0.cfg.Auth = evil
-	if err := t0.Send(1, types.NewCommit(0, 0, 0, 2, types.Hash([]byte("forged")))); err != nil {
+	honest, err := NewTCP(TCPConfig{
+		Self: 0, Listen: "127.0.0.1:0", Peers: peers,
+		Auth: crypto.NewMAC(crypto.PartyID(0), good),
+	}, newSink())
+	if err != nil {
 		t.Fatal(err)
 	}
-	// And a subsequent good frame still arrives (connection survives).
-	t0.cfg.Auth = auth0
-	if err := t0.Send(1, types.NewCommit(0, 0, 0, 3, types.Hash([]byte("ok2")))); err != nil {
+	defer honest.Close()
+	if err := honest.Send(1, types.NewCommit(0, 0, 0, 3, types.Hash([]byte("ok")))); err != nil {
 		t.Fatal(err)
 	}
+
 	s1.wait(t, 1)
-	if n := s1.count(); n != 2 {
-		t.Fatalf("delivered %d frames, want 2 (forgery dropped)", n)
+	got := s1.first(t).(*types.Commit)
+	if got.Round != 3 {
+		t.Fatalf("forged commit delivered: %+v", got)
+	}
+	waitCond(t, 5*time.Second, func() bool { return t1.Stats().AuthRejects >= 1 })
+	if n := s1.count(); n != 1 {
+		t.Fatalf("delivered %d frames, want 1 (forgery dropped)", n)
 	}
 }
 
@@ -180,13 +275,13 @@ func TestTCPClientReplyPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	cliSink.wait(t, 1)
-	if got := cliSink.msgs[0].(*types.ClientReply); got.Seq != 1 || got.Client != 42 {
+	if got := cliSink.first(t).(*types.ClientReply); got.Seq != 1 || got.Client != 42 {
 		t.Fatalf("reply mangled: %+v", got)
 	}
 }
 
 func TestFrameMarshalRoundTrip(t *testing.T) {
-	f := &Frame{FromReplica: 3, Msg: types.NewPrepare(1, 3, 2, 9, types.Hash([]byte("d")))}
+	f := &Frame{FromReplica: 3, Tag: []byte{9, 9}, Msg: types.NewPrepare(1, 3, 2, 9, types.Hash([]byte("d")))}
 	b, err := Marshal(f)
 	if err != nil {
 		t.Fatal(err)
@@ -195,52 +290,43 @@ func TestFrameMarshalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.FromReplica != 3 || got.Msg.(*types.Prepare).Round != 9 {
+	if got.FromReplica != 3 || got.Msg.(*types.Prepare).Round != 9 || len(got.Tag) != 2 {
 		t.Fatalf("frame mangled: %+v", got)
 	}
 }
 
-func TestAllMessageTypesGobRegistered(t *testing.T) {
-	b := &types.Batch{Txns: []types.Transaction{{Client: 1, Seq: 1, Op: []byte("x")}}}
-	msgs := []types.Message{
-		types.NewClientRequest(0, b.Txns[0]),
-		&types.ClientReply{Client: 1},
-		&types.SwitchInstance{Client: 1, To: 2},
-		&types.PrePrepare{Round: 1, Batch: b},
-		types.NewPrepare(0, 1, 0, 1, b.Digest()),
-		types.NewCommit(0, 1, 0, 1, b.Digest()),
-		&types.Checkpoint{Round: 1},
-		&types.ViewChange{NewView: 1},
-		&types.NewView{NewView: 1},
-		&types.Failure{Round: 1},
-		&types.Stop{Target: 1},
-		&types.OrderRequest{Round: 1, Batch: b},
-		&types.SpecResponse{Round: 1},
-		&types.CommitCert{Round: 1},
-		&types.LocalCommit{Round: 1},
-		&types.FillHole{From: 1, To: 2},
-		&types.IHatePrimary{View: 1},
-		&types.SignShare{Round: 1, Share: []byte{1}},
-		&types.FullCommitProof{Round: 1, Combined: []byte{2}},
-		&types.SignStateShare{Round: 1},
-		&types.FullExecuteProof{Round: 1},
-		&types.HSProposal{Round: 1, Batch: b},
-		&types.HSVote{Round: 1},
-		&types.HSNewView{View: 1},
-		&types.EpochChange{Epoch: 1},
-		&types.NewEpoch{Epoch: 1, StartRound: 7},
-	}
-	for _, m := range msgs {
-		enc, err := Marshal(&Frame{FromReplica: 1, Msg: m})
-		if err != nil {
-			t.Fatalf("%T: marshal: %v", m, err)
-		}
-		dec, err := Unmarshal(enc)
-		if err != nil {
-			t.Fatalf("%T: unmarshal: %v", m, err)
-		}
-		if dec.Msg.Type() != m.Type() {
-			t.Fatalf("%T: type mismatch after round trip", m)
+// TestTCPBatchesBursts: a burst of sends to one destination must coalesce
+// into fewer write batches than messages — the multi-message framing at
+// work (exact counts depend on scheduling, so only the ratio is asserted).
+func TestTCPBatchesBursts(t *testing.T) {
+	t0, _, _, s1 := tcpPair(t, nil, nil)
+	const burst = 512
+	m := types.NewPrepare(0, 0, 1, 2, types.Hash([]byte("b")))
+	for i := 0; i < burst; i++ {
+		if err := t0.Send(1, m); err != nil {
+			t.Fatal(err)
 		}
 	}
+	s1.wait(t, burst)
+	st := t0.Stats()
+	if st.MsgsSent != burst {
+		t.Fatalf("sent %d msgs, want %d", st.MsgsSent, burst)
+	}
+	if st.BatchesSent >= burst {
+		t.Fatalf("no batching: %d batches for %d msgs", st.BatchesSent, burst)
+	}
+	t.Logf("burst of %d coalesced into %d batches (%.1f msgs/batch)",
+		burst, st.BatchesSent, float64(st.MsgsSent)/float64(st.BatchesSent))
+}
+
+func waitCond(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
 }

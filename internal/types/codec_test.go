@@ -1,0 +1,176 @@
+package types
+
+import (
+	"reflect"
+	"testing"
+)
+
+// codecCorpus builds one fully-populated value of every message type in the
+// catalog. Every field is non-zero so a codec that drops or reorders a field
+// cannot round-trip.
+func codecCorpus() []Message {
+	d1 := Hash([]byte("d1"))
+	d2 := Hash([]byte("d2"))
+	d3 := Hash([]byte("d3"))
+	batch := &Batch{Txns: []Transaction{
+		{Client: 7, Seq: 3, Op: []byte("write x=1")},
+		{Client: 9, Seq: 1, Op: []byte("read y")},
+	}}
+	props := []AcceptedProposal{
+		{Round: 4, View: 2, Digest: d1, Batch: batch, Prepared: true},
+		{Round: 5, View: 2, Digest: d2, Batch: nil, Prepared: false},
+	}
+	fail1 := &Failure{Header: Header{Inst: 3}, Replica: 1, Round: 9, State: props, Light: false}
+	fail2 := &Failure{Header: Header{Inst: 3}, Replica: 2, Round: 9, Light: true}
+	qc := QuorumCert{View: 3, Round: 8, Block: d3, Signers: []ReplicaID{0, 2, 3}}
+
+	return []Message{
+		&ClientRequest{Header: Header{Inst: 2}, Tx: Transaction{Client: 5, Seq: 11, Op: []byte("op")}},
+		&ClientReply{Header: Header{Inst: 2}, Replica: 3, Client: 5, Seq: 11, Round: 6, Result: d1, Count: 100},
+		&SwitchInstance{Header: Header{Inst: 1}, Client: 5, To: 2},
+		&PrePrepare{Header: Header{Inst: 1}, View: 2, Round: 7, Digest: d1, Batch: batch},
+		&PrePrepare{Header: Header{Inst: 1}, View: 2, Round: 7, Digest: d1}, // digest-only retransmission
+		NewPrepare(1, 2, 3, 4, d2),
+		NewCommit(1, 2, 3, 4, d2),
+		&Checkpoint{Header: Header{Inst: 1}, Replica: 2, Round: 10, State: d3, Proposals: props},
+		&ViewChange{Header: Header{Inst: 1}, Replica: 2, NewView: 4, StableCkp: 8, Prepared: props},
+		&NewView{Header: Header{Inst: 1}, Replica: 3, NewView: 4, ViewProofs: []ReplicaID{0, 1, 2}, Reproposed: props},
+		fail1,
+		fail2,
+		&Stop{Header: Header{Inst: CoordInstance(3)}, Target: 3, Evidence: []*Failure{fail1, fail2}},
+		&OrderRequest{Header: Header{Inst: 0}, View: 1, Round: 2, History: d1, Digest: d2, Batch: batch},
+		&SpecResponse{Header: Header{Inst: 0}, Replica: 1, View: 2, Round: 3, History: d1, Result: d2, Client: 5, Count: 100},
+		&CommitCert{Header: Header{Inst: 0}, Client: 5, View: 2, Round: 3, History: d1, Responses: []ReplicaID{0, 1, 3}},
+		&LocalCommit{Header: Header{Inst: 0}, Replica: 1, View: 2, Round: 3, History: d1, Client: 5},
+		&FillHole{Header: Header{Inst: 0}, Replica: 1, View: 2, From: 3, To: 9},
+		&IHatePrimary{Header: Header{Inst: 0}, Replica: 1, View: 2},
+		&SignShare{Header: Header{Inst: 0}, Replica: 1, View: 2, Round: 3, Digest: d1, Share: []byte{1, 2, 3}},
+		&FullCommitProof{Header: Header{Inst: 0}, Replica: 1, View: 2, Round: 3, Digest: d1, Combined: []byte{4, 5}},
+		&SignStateShare{Header: Header{Inst: 0}, Replica: 1, Round: 3, State: d2, Share: []byte{6}},
+		&FullExecuteProof{Header: Header{Inst: 0}, Replica: 1, Round: 3, State: d2, Combined: []byte{7, 8}},
+		&HSProposal{Header: Header{Inst: 0}, Replica: 1, View: 2, Round: 3, Parent: d1, Digest: d2, Batch: batch, Justify: qc},
+		&HSVote{Header: Header{Inst: 0}, Replica: 1, View: 2, Round: 3, Block: d3, Share: []byte{9}},
+		&HSNewView{Header: Header{Inst: 0}, Replica: 1, View: 2, HighQC: qc},
+		&EpochChange{Header: Header{Inst: 0}, Replica: 1, Epoch: 5, Failed: 2, Round: 7},
+		&NewEpoch{Header: Header{Inst: 0}, Replica: 1, Epoch: 5, Leaders: []ReplicaID{0, 1, 3}, StartRound: 12},
+	}
+}
+
+// TestCodecRoundTripAllTypes is the completeness check the transport relies
+// on: every message in the catalog must encode and decode back to a deeply
+// equal value. A new message type without a codec fails here, not in
+// production.
+func TestCodecRoundTripAllTypes(t *testing.T) {
+	seen := make(map[MsgType]bool)
+	for _, m := range codecCorpus() {
+		seen[m.Type()] = true
+		enc, err := MarshalMessage(m)
+		if err != nil {
+			t.Fatalf("%T: marshal: %v", m, err)
+		}
+		got, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%T round-trip mismatch:\n got %#v\nwant %#v", m, got, m)
+		}
+	}
+	// Every named MsgType except the invalid sentinel must be covered.
+	for mt := range msgTypeNames {
+		if mt != MsgInvalid && !seen[mt] {
+			t.Errorf("corpus misses %v — add it and a codec", mt)
+		}
+	}
+}
+
+// TestCodecAppendSharesBuffer verifies the append-style API so transports
+// can pool encode buffers.
+func TestCodecAppendSharesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 1024)
+	m1 := NewPrepare(1, 2, 3, 4, Hash([]byte("a")))
+	m2 := NewCommit(5, 6, 7, 8, Hash([]byte("b")))
+	buf, err := AppendMessage(buf, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := len(buf)
+	buf, err = AppendMessage(buf, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := DecodeMessage(buf[:split])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := DecodeMessage(buf[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g1, m1) || !reflect.DeepEqual(g2, m2) {
+		t.Fatal("append-mode round trip mismatch")
+	}
+}
+
+func TestCodecRejectsMalformedInput(t *testing.T) {
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Fatal("empty input decoded")
+	}
+	if _, err := DecodeMessage([]byte{0xEE, 1, 2}); err == nil {
+		t.Fatal("unknown tag decoded")
+	}
+	enc, err := MarshalMessage(&PrePrepare{Header: Header{Inst: 1}, View: 2, Round: 3,
+		Digest: Hash([]byte("d")), Batch: &Batch{Txns: []Transaction{{Client: 1, Seq: 1, Op: []byte("x")}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation must error, never panic or decode garbage.
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeMessage(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded cleanly", i, len(enc))
+		}
+	}
+	// Trailing bytes are a framing bug upstream; the codec must refuse them.
+	if _, err := DecodeMessage(append(append([]byte(nil), enc...), 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestCodecRejectsForgedCounts: element counts arrive from the network
+// (pre-authentication on the transport's decode path), so a forged huge
+// count must fail the buffer-derived bound instead of driving a giant
+// allocation.
+func TestCodecRejectsForgedCounts(t *testing.T) {
+	var d Digest
+	// Checkpoint claiming 2^32-1 proposals in a ~50-byte message.
+	buf := []byte{byte(MsgCheckpoint)}
+	buf = appendU16(buf, 1)          // inst
+	buf = appendU16(buf, 2)          // replica
+	buf = appendU64(buf, 3)          // round
+	buf = append(buf, d[:]...)       // state
+	buf = appendU32(buf, 0xFFFFFFFF) // forged proposal count
+	if _, err := DecodeMessage(buf); err == nil {
+		t.Fatal("forged proposal count decoded")
+	}
+
+	// PrePrepare whose batch claims 2^32-1 transactions.
+	buf = []byte{byte(MsgPrePrepare)}
+	buf = appendU16(buf, 1)          // inst
+	buf = appendU64(buf, 2)          // view
+	buf = appendU64(buf, 3)          // round
+	buf = append(buf, d[:]...)       // digest
+	buf = append(buf, 1)             // batch present
+	buf = appendU32(buf, 0xFFFFFFFF) // forged txn count
+	if _, err := DecodeMessage(buf); err == nil {
+		t.Fatal("forged batch txn count decoded")
+	}
+
+	// Stop claiming 2^32-1 evidence failures.
+	buf = []byte{byte(MsgStop)}
+	buf = appendU16(buf, uint16(CoordInstance(1))) // inst
+	buf = appendU16(buf, 1)                        // target
+	buf = appendU32(buf, 0xFFFFFFFF)               // forged evidence count
+	if _, err := DecodeMessage(buf); err == nil {
+		t.Fatal("forged evidence count decoded")
+	}
+}

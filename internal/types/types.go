@@ -12,6 +12,14 @@
 // for 100 transactions is 1748 B, and all other consensus messages are
 // 250 B. WireSize is what the simulators charge against link bandwidth; the
 // actual marshalled form may be smaller.
+//
+// The package also provides the registry-based binary codec the transports
+// put on the wire (codec.go): AppendMessage/MarshalMessage emit an explicit
+// MsgType tag followed by a hand-written big-endian body, DecodeMessage
+// dispatches on the tag — no reflection, append-into-caller-buffer so
+// encode buffers pool, and an exhaustive round-trip test pins every type in
+// the catalog (BenchmarkCodec measures the gap vs the gob encoding this
+// replaced).
 package types
 
 import (
@@ -140,7 +148,16 @@ func UnmarshalBatch(buf []byte) (*Batch, []byte, error) {
 	}
 	n := int(binary.BigEndian.Uint32(buf))
 	buf = buf[4:]
-	b := &Batch{Txns: make([]Transaction, 0, n)}
+	// The count arrives from the network (and, via the transport codec,
+	// possibly from an unauthenticated peer): cap the pre-allocation by
+	// what the buffer could physically hold (a transaction is ≥16 bytes)
+	// so a forged count cannot demand gigabytes before the first
+	// per-transaction bounds check fails.
+	capHint := n
+	if most := len(buf) / 16; capHint > most {
+		capHint = most
+	}
+	b := &Batch{Txns: make([]Transaction, 0, capHint)}
 	for i := 0; i < n; i++ {
 		t, rest, err := UnmarshalTransaction(buf)
 		if err != nil {

@@ -11,7 +11,10 @@
 //
 // Gate mode — compare against the committed baseline and fail (exit 1) on
 // a >25% ns/op regression in any benchmark matching -gate-pattern, and on
-// an async/sync speedup below -min-speedup:
+// an async/sync speedup below -min-speedup. The speedup check pairs every
+// gated benchmark ending in "/async" with its "/sync" sibling — both the
+// durability pipeline (BenchmarkAsyncJournal) and the messaging layer
+// (BenchmarkBroadcast/vote) ride it:
 //
 //	go run ./scripts/benchgate -gate -baseline BENCH_baseline.json \
 //	    -current BENCH_ci.json -max-regress 0.25 -min-speedup 1.5
@@ -64,7 +67,7 @@ func main() {
 		current    = flag.String("current", "BENCH_ci.json", "gate: freshly emitted summary path")
 		maxRegress = flag.Float64("max-regress", 0.25, "gate: fail when ns/op exceeds baseline by more than this fraction")
 		minSpeedup = flag.Float64("min-speedup", 0, "gate: fail when an async variant is not at least this many times faster than its sync sibling (0 disables)")
-		pattern    = flag.String("gate-pattern", `^Benchmark(WALAppend|AsyncJournal)`, "gate: regexp selecting the benchmarks that block the build")
+		pattern    = flag.String("gate-pattern", `^Benchmark(WALAppend|AsyncJournal|Codec|Broadcast)`, "gate: regexp selecting the benchmarks that block the build")
 	)
 	flag.Parse()
 	switch {
