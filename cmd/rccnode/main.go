@@ -69,6 +69,9 @@ func main() {
 		sendQ    = flag.Int("send-queue", 0, "per-peer outbound queue depth: messages buffered per replica link before backpressure (0 = default 4096)")
 		clientQ  = flag.Int("client-queue", 0, "per-client reply queue depth: replies buffered per client link before dropping (0 = default 1024)")
 		sendB    = flag.Int("send-batch-bytes", 0, "max encoded bytes coalesced into one multi-message frame per write syscall (0 = default 128 KiB)")
+		stateSyn = flag.Bool("state-sync", true, "with -data-dir: serve checkpoints to lagging peers and, when this replica is behind (wiped disk, long partition), fetch the f+1-attested snapshot + ledger suffix and rejoin at the cluster head")
+		chunkB   = flag.Int("snapshot-chunk-bytes", 0, "state sync: snapshot chunk size served to peers (0 = default 256 KiB)")
+		syncSrc  = flag.Int("state-sync-source", -1, "state sync: preferred transfer source replica ID (-1 = automatic; the fetcher still rotates away on failure)")
 	)
 	flag.Parse()
 
@@ -113,6 +116,10 @@ func main() {
 		log.Fatalf("rccnode: unknown -sync mode %q (want group, always, or none)", *syncMode)
 	}
 
+	source := types.NoReplica
+	if *syncSrc >= 0 {
+		source = types.ReplicaID(*syncSrc)
+	}
 	rep, err := runtime.New(runtime.Config{
 		ID:                   types.ReplicaID(*id),
 		Params:               params,
@@ -125,16 +132,19 @@ func main() {
 		JournalQueueDepth:    *jnlQueue,
 		JournalMaxBatchBytes: *jnlBatch,
 		SnapshotEvery:        *snapEach,
+		StateSync:            *stateSyn && *dataDir != "",
+		SnapshotChunkBytes:   *chunkB,
+		StateSyncSource:      source,
 		ReplyToClients:       true,
+		Logf:                 log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("rccnode: opening durable state: %v", err)
 	}
 	if *dataDir != "" {
 		if h := rep.Ledger().Height(); h > 0 {
-			head := rep.Ledger().Head()
 			log.Printf("rccnode: resumed from %s at ledger height %d (head %v, %d txns)",
-				*dataDir, h, head.Hash(), rep.Ledger().TxnCount())
+				*dataDir, h, rep.Ledger().HeadHash(), rep.Ledger().TxnCount())
 		} else {
 			log.Printf("rccnode: fresh durable state in %s", *dataDir)
 		}
@@ -185,6 +195,13 @@ func main() {
 					cur, float64(cur-last)/float64(*statsSec),
 					st.MsgsSent, st.BatchesSent, batched, st.PeerDropped, st.ClientDropped, st.Reconnects)
 				last = cur
+				if ss := rep.StateSync(); ss != nil {
+					if sst := ss.Stats(); sst.Installs > 0 || sst.OffersServed > 0 {
+						log.Printf("rccnode: statesync installs=%d (snapshots=%d) fetched %d chunks/%d blocks (%d B); served %d offers %d chunks %d ranges; refused %d/%d",
+							sst.Installs, sst.InstalledSnaps, sst.ChunksFetched, sst.BlocksFetched, sst.BytesFetched,
+							sst.OffersServed, sst.ChunksServed, sst.RangesServed, sst.ChunksRefused, sst.RangesRefused)
+					}
+				}
 			}
 		}()
 	}

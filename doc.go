@@ -5,8 +5,8 @@
 // The public API lives in internal/core (cluster assembly), the paradigm in
 // internal/rcc, the baseline protocols in internal/{pbft,zyzzyva,sbft,
 // hotstuff,mirbft}, and the experiment harness in internal/bench plus
-// cmd/rccbench. See README.md for the tour, DESIGN.md for the system
-// inventory, and EXPERIMENTS.md for measured-vs-paper results.
+// cmd/rccbench. See README.md for the package tour, the subsystem
+// overviews, and how to run rccnode/rccclient/rccbench.
 //
 // Durable storage: replicas configured with a data directory
 // (runtime.Config.DataDir, core.Options.DataDir, rccnode -data-dir)
@@ -16,9 +16,9 @@
 // (§III-D) double as the durable recovery points. A restarted replica
 // replays the log (truncating a torn tail, refusing corruption), restores
 // the application from the latest checkpoint, and resumes at its pre-crash
-// ledger height with an identical head hash — no state transfer from
-// peers. See internal/wal's package documentation for the on-disk format
-// and examples/recovery for a kill-and-restart walkthrough. Data dirs are
+// ledger height with an identical head hash — its own disk suffices. See
+// internal/wal's package documentation for the on-disk format and
+// examples/recovery for a kill-and-restart walkthrough. Data dirs are
 // stamped with a replica identity and format version on first open and
 // refuse to serve a different replica or a newer format.
 //
@@ -53,6 +53,29 @@
 // expose -send-queue, -client-queue, and -send-batch-bytes;
 // BenchmarkBroadcast and BenchmarkCodec measure the win (enqueue-only
 // vote broadcast is >10x the old inline gob+write path) and CI gates it.
+//
+// State-transfer subsystem: a replica whose disk no longer reaches the
+// cluster — wiped, corrupted, or partitioned past what in-protocol
+// checkpoint catch-up (§III-C/§III-D) can bridge — heals itself through
+// internal/statesync (rccnode -state-sync, on by default with -data-dir).
+// It probes its peers, trusts only a target that f+1 distinct replicas
+// attest with byte-identical offers (snapshot digests, ledger head, and
+// the consensus machine's serialized frontier, sm.StateSyncable), fetches
+// the snapshot in bounded chunks (-snapshot-chunk-bytes) plus the ledger
+// suffix in block ranges, and verifies everything against the attested
+// digests: reassembled chunks must hash to the attested state digest,
+// blocks must chain hash-to-hash from the attested anchor to the attested
+// head, proofs must cover their batches. The install is crash-atomic
+// (staging + commit marker): a kill -9 at any point leaves either the
+// pre-transfer state or the fully installed one, never a mix. Installing
+// rebases the WAL to the snapshot height (records below it live on only
+// inside the pinned base checkpoint) and hands the machine the attested
+// frontier, so the replica votes at the cluster head immediately —
+// including decisions it accumulated while the transfer ran. Acked⇒durable
+// is preserved across a transfer: a syncing replica defers no acks (it is
+// not executing), and after the install its journal again covers exactly
+// the chain it acknowledges. rccbench -exp statesync reports transfer
+// throughput (MB/s, blocks/s).
 //
 // The root-level benchmarks (bench_test.go) expose one testing.B target per
 // table and figure of the paper's evaluation:

@@ -93,6 +93,11 @@ type Options struct {
 	// SnapshotEvery persists application checkpoints every N blocks when
 	// DataDir is set (see runtime.Config.SnapshotEvery).
 	SnapshotEvery uint64
+	// StateSync arms checkpoint-based state transfer when DataDir is set
+	// and the protocol supports it: a replica whose data dir is wiped or
+	// behind fetches the f+1-attested snapshot plus ledger suffix from its
+	// peers and rejoins at the cluster head (see runtime.Config.StateSync).
+	StateSync bool
 	// UnpredictableOrdering enables RCC's §IV permutation ordering.
 	UnpredictableOrdering bool
 }
@@ -225,6 +230,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		}
 		if opts.DataDir != "" {
 			rcfg.DataDir = ReplicaDir(opts.DataDir, i)
+			rcfg.StateSync = opts.StateSync
+			rcfg.StateSyncSource = types.NoReplica
 		}
 		rep, err := runtime.New(rcfg)
 		if err != nil {

@@ -51,26 +51,58 @@ func (b *Block) Hash() types.Digest {
 
 // Ledger is an in-memory hash-chained journal. It is safe for concurrent
 // use.
+//
+// A ledger normally starts at height 0 (genesis). A ledger built from a
+// state transfer instead starts at a base height: blocks below the base were
+// summarized by an installed snapshot and are not materialized — Get returns
+// nil for them — but heights, hash links, and the cumulative transaction
+// count continue as if they were present (NewAt).
 type Ledger struct {
-	mu     sync.RWMutex
-	blocks []*Block
-	txns   uint64
+	mu       sync.RWMutex
+	base     uint64       // height of the first materialized block
+	baseHash types.Digest // hash of block base-1 (zero when base == 0)
+	baseTxns uint64       // transactions carried by blocks below base
+	blocks   []*Block
+	txns     uint64
 }
 
-// New creates an empty ledger.
+// New creates an empty ledger rooted at genesis.
 func New() *Ledger { return &Ledger{} }
+
+// NewAt creates a ledger whose first block will sit at height base, chained
+// onto baseHash (the hash of block base-1), with baseTxns transactions
+// carried by the summarized prefix. NewAt(0, zero, 0) equals New().
+func NewAt(base uint64, baseHash types.Digest, baseTxns uint64) *Ledger {
+	return &Ledger{base: base, baseHash: baseHash, baseTxns: baseTxns}
+}
+
+// Base returns the height of the first materialized block (0 for a full
+// chain).
+func (l *Ledger) Base() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base
+}
+
+// BaseHash returns the hash the first materialized block chains onto (the
+// zero digest for a full chain).
+func (l *Ledger) BaseHash() types.Digest {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.baseHash
+}
 
 // Append adds a block holding batch with the given proof and state hash.
 // It returns the appended block.
 func (l *Ledger) Append(batch *types.Batch, proof Proof, state types.Digest) *Block {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	var prev types.Digest
+	prev := l.baseHash
 	if n := len(l.blocks); n > 0 {
 		prev = l.blocks[n-1].Hash()
 	}
 	b := &Block{
-		Height:    uint64(len(l.blocks)),
+		Height:    l.base + uint64(len(l.blocks)),
 		PrevHash:  prev,
 		Batch:     batch,
 		Proof:     proof,
@@ -82,28 +114,54 @@ func (l *Ledger) Append(batch *types.Batch, proof Proof, state types.Digest) *Bl
 	return b
 }
 
-// Height returns the number of blocks in the ledger.
+// Height returns the number of blocks in the chain, including the
+// summarized prefix below the base.
 func (l *Ledger) Height() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return uint64(len(l.blocks))
+	return l.base + uint64(len(l.blocks))
 }
 
-// TxnCount returns the total number of transactions across all blocks.
+// TxnCount returns the total number of transactions across the chain,
+// including the summarized prefix below the base.
 func (l *Ledger) TxnCount() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return l.txns
+	return l.baseTxns + l.txns
 }
 
-// Get returns the block at the given height, or nil when out of range.
+// Get returns the block at the given height, or nil when out of range or
+// below the base (summarized by a snapshot, no longer materialized).
 func (l *Ledger) Get(height uint64) *Block {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if height >= uint64(len(l.blocks)) {
+	if height < l.base || height >= l.base+uint64(len(l.blocks)) {
 		return nil
 	}
-	return l.blocks[height]
+	return l.blocks[height-l.base]
+}
+
+// HeadHash returns the hash of the chain head: the last materialized
+// block's hash, or the base hash when every block is summarized by an
+// installed snapshot (the zero digest on a truly empty chain).
+func (l *Ledger) HeadHash() types.Digest {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if n := len(l.blocks); n > 0 {
+		return l.blocks[n-1].Hash()
+	}
+	return l.baseHash
+}
+
+// Tip returns the chain height and head hash as one consistent pair (two
+// separate Height/HeadHash calls could straddle an append).
+func (l *Ledger) Tip() (uint64, types.Digest) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if n := len(l.blocks); n > 0 {
+		return l.base + uint64(n), l.blocks[n-1].Hash()
+	}
+	return l.base, l.baseHash
 }
 
 // Head returns the latest block, or nil when the ledger is empty.
@@ -128,9 +186,9 @@ func (l *Ledger) Head() *Block {
 func (l *Ledger) Verify() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	var prev types.Digest
+	prev := l.baseHash
 	for i, b := range l.blocks {
-		if b.Height != uint64(i) {
+		if b.Height != l.base+uint64(i) {
 			return fmt.Errorf("ledger: block %d has height %d", i, b.Height)
 		}
 		if b.PrevHash != prev {

@@ -97,6 +97,13 @@ func (p *Instance) onCheckpoint(m *types.Checkpoint) {
 	// replica to adopt the contents (PBFT's state-transfer rule).
 	if n >= p.env.Params().FaultDetection() {
 		p.adoptFromCheckpoint(m.Round, m.State)
+		if _, bridged := p.chainAt[m.Round]; !bridged && m.Round >= p.deliver {
+			// A certified prefix this replica cannot reach from any body
+			// it holds: the gap predates what checkpoints carry (wiped
+			// disk, long partition). Only a ledger-level state transfer
+			// can close it.
+			p.reportSyncGap()
+		}
 	}
 	// nf matching digests make the checkpoint stable (garbage collection).
 	if n >= p.env.Params().NF() {

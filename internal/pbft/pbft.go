@@ -682,6 +682,13 @@ func (p *Instance) suspect(rnd types.Round) {
 		p.env.Suspect(p.cfg.Instance, rnd)
 		return
 	}
+	// A backup that cannot deliver may not be facing a dead primary at
+	// all — it may simply be behind (restarted from a wiped or stale
+	// disk while the cluster moved on). Kick state transfer alongside
+	// the view change: if we are current it is a no-op probe; if we are
+	// behind, healing the gap is what actually restores liveness (the
+	// view change alone never can — no view has the history we lack).
+	p.reportSyncGap()
 	p.startViewChange(p.view + 1)
 }
 

@@ -1,0 +1,102 @@
+package pbft
+
+// Checkpoint-based state transfer (sm.StateSyncable): serialization and
+// installation of the delivered frontier. A wiped or long-partitioned
+// replica cannot use checkpoint catch-up — the bodies peers attach only
+// reach back to their last stable checkpoint, not to genesis — so the
+// statesync subsystem ships it the ledger itself and then installs the
+// matching machine frontier through InstallSyncPoint.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// syncPointV1 tags the PBFT frontier serialization.
+const syncPointV1 = 1
+
+// syncPointLen is the fixed encoded size: version, view, deliver,
+// stableCkp, chain digest.
+const syncPointLen = 1 + 8 + 8 + 8 + 32
+
+// SyncPoint implements sm.StateSyncable: the delivered frontier, the
+// checkpoint chain value it carries, and the view — everything a peer needs
+// to resume participation exactly where this replica stands. Deterministic:
+// replicas with identical frontiers serialize identically.
+func (p *Instance) SyncPoint() []byte {
+	buf := make([]byte, 0, syncPointLen)
+	buf = append(buf, syncPointV1)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.view))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.deliver))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.stableCkp))
+	return append(buf, p.chain[:]...)
+}
+
+// ValidateSyncPoint implements sm.StateSyncable: format check only, no
+// mutation.
+func (p *Instance) ValidateSyncPoint(data []byte) error {
+	if len(data) != syncPointLen || data[0] != syncPointV1 {
+		return fmt.Errorf("pbft: malformed sync point (%d bytes)", len(data))
+	}
+	return nil
+}
+
+// InstallSyncPoint implements sm.StateSyncable: jump the delivered frontier
+// to an attested install point. Rounds below it were installed through the
+// ledger; rounds at or above it keep whatever votes and commits accumulated
+// while the transfer ran and deliver in order from here.
+func (p *Instance) InstallSyncPoint(data []byte) error {
+	if err := p.ValidateSyncPoint(data); err != nil {
+		return err
+	}
+	view := types.View(binary.BigEndian.Uint64(data[1:]))
+	deliver := types.Round(binary.BigEndian.Uint64(data[9:]))
+	stable := types.Round(binary.BigEndian.Uint64(data[17:]))
+	var chain types.Digest
+	copy(chain[:], data[25:])
+
+	if deliver <= p.deliver {
+		return nil // already at or past the install point
+	}
+	p.view = view
+	p.inViewChange = false
+	p.deliver = deliver
+	if p.next < deliver {
+		p.next = deliver
+	}
+	// Everything below the frontier is settled elsewhere; refuse late
+	// traffic for it exactly like a post-recovery resume does.
+	if deliver > p.resumeFloor {
+		p.resumeFloor = deliver
+	}
+	p.stableCkp = stable
+	p.chain = chain
+	p.chainAt = map[types.Round]types.Digest{deliver - 1: chain}
+	for r := range p.rounds {
+		if r < deliver {
+			delete(p.rounds, r)
+		}
+	}
+	for r := range p.ckpVotes {
+		if r < deliver {
+			delete(p.ckpVotes, r)
+			delete(p.ckpBodies, r)
+		}
+	}
+	p.halted = false
+	// Rounds decided while the transfer ran may already be committed in
+	// p.rounds: deliver them now that the frontier reaches them.
+	p.tryDeliver()
+	return nil
+}
+
+// reportSyncGap asks the runtime for a state transfer when in-protocol
+// catch-up cannot bridge a certified gap (sm.StateSyncRequester; runtimes
+// without the capability ignore the report).
+func (p *Instance) reportSyncGap() {
+	if req, ok := p.env.(interface{ RequestStateSync() }); ok {
+		req.RequestStateSync()
+	}
+}

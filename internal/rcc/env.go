@@ -36,6 +36,11 @@ func (e *instEnv) Suspect(inst types.InstanceID, round types.Round) {
 	e.mgr.suspectInstance(e.inst, round)
 }
 
+// RequestStateSync forwards an instance's in-the-dark report (a certified
+// checkpoint it cannot bridge) to the hosting runtime, when that runtime
+// can run state transfer (sm.StateSyncRequester).
+func (e *instEnv) RequestStateSync() { e.mgr.requestStateSync() }
+
 // coordEnv is the environment of a coordinating consensus instance: its
 // decisions (stop operations, reassignments) go to the manager, and its
 // internal view changes never escalate.
@@ -63,3 +68,7 @@ func (e *coordEnv) Suspect(types.InstanceID, types.Round) {
 	// The coordinator runs standalone PBFT (view changes enabled), so it
 	// never reports suspicions; nothing to do.
 }
+
+// RequestStateSync forwards a coordinator's in-the-dark report like the
+// instance path does.
+func (e *coordEnv) RequestStateSync() { e.mgr.requestStateSync() }

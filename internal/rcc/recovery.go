@@ -88,6 +88,16 @@ func (r *Replica) onFailure(from sm.Source, m *types.Failure) {
 	st.failures[m.Replica] = m
 
 	p := r.env.Params()
+	// An in-dark replica beyond repair: f+1 distinct replicas claim
+	// progress far past everything this replica has decided or voided —
+	// at least one of them is honest, so the cluster really is there, and
+	// a gap wider than σ means the checkpoint bodies that heal ordinary
+	// in-the-dark replicas (§III-D) no longer reach back to our frontier.
+	// Only a ledger-level state transfer can close it.
+	if len(st.failures) >= p.FaultDetection() &&
+		m.Round > st.lastDec+2*r.cfg.Sigma && m.Round > r.voidHorizon(st)+2*r.cfg.Sigma {
+		r.requestStateSync()
+	}
 	// A replica that already finished the claimed round and does not
 	// share the suspicion answers the claim with a checkpoint: if the
 	// claimant was merely kept in the dark (≤ f affected replicas, so no
@@ -278,6 +288,16 @@ func (r *Replica) resetDetection(st *instState, startedAt types.Round) {
 	st.startedAt = startedAt
 	r.env.CancelTimer(sm.TimerID{Instance: st.id, Kind: sm.TimerRebroadcast})
 	r.env.CancelTimer(sm.TimerID{Instance: st.id, Kind: sm.TimerRecovery})
+}
+
+// requestStateSync reports that this replica is in the dark beyond what
+// checkpoint catch-up can bridge: the hosting runtime (when it implements
+// sm.StateSyncRequester) starts a checkpoint-based state transfer from
+// peers. Requests coalesce in the runtime; duplicates are cheap.
+func (r *Replica) requestStateSync() {
+	if req, ok := r.env.(sm.StateSyncRequester); ok {
+		req.RequestStateSync()
+	}
 }
 
 // maybeDynamicCheckpoint triggers per-need checkpoints (§III-D): when

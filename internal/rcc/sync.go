@@ -1,0 +1,299 @@
+package rcc
+
+// Checkpoint-based state transfer for the RCC paradigm (sm.StateSyncable):
+// the replica's frontier is the composition of every concurrent instance's
+// frontier (and its coordinating consensus'), plus the RCC-level round
+// ordering state and the agreed client assignment. All of it is derived
+// from consensus decisions, so replicas with identical frontiers serialize
+// identically — the property the f+1 attestation of statesync offers rests
+// on.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+const rccSyncPointV1 = 2 // distinct from the PBFT tag so blobs cannot be confused
+
+// SyncPoint implements sm.StateSyncable. Returns nil when any nested
+// instance cannot serialize its frontier (a non-PBFT factory without
+// support): state transfer is then unavailable for the deployment.
+func (r *Replica) SyncPoint() []byte {
+	buf := make([]byte, 0, 64+64*len(r.states))
+	buf = append(buf, rccSyncPointV1)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.execRound))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.maxDecided))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.states)))
+	for _, st := range r.states {
+		inner, ok := st.inst.(sm.StateSyncable)
+		if !ok {
+			return nil
+		}
+		isp := inner.SyncPoint()
+		if isp == nil {
+			return nil
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(st.voidBelow))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(st.lastDec))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(st.stops))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(st.startedAt))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(isp)))
+		buf = append(buf, isp...)
+		csp := st.coord.SyncPoint()
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(csp)))
+		buf = append(buf, csp...)
+	}
+	// Client assignment (§III-E), sorted for determinism. Only explicit
+	// reassignments are recorded; the default hash assignment needs none.
+	clients := make([]types.ClientID, 0, len(r.assign))
+	for c := range r.assign {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(clients)))
+	for _, c := range clients {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(r.assign[c]))
+	}
+	// In-flight reassignment schedules (without their queued requests —
+	// clients retransmit).
+	pending := make([]types.ClientID, 0, len(r.switches))
+	for c := range r.switches {
+		pending = append(pending, c)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(pending)))
+	for _, c := range pending {
+		s := r.switches[c]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(s.from))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(s.to))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(s.activeAfter))
+	}
+	return buf
+}
+
+type rccSyncReader struct {
+	b   []byte
+	err error
+}
+
+func (r *rccSyncReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("rcc: truncated sync point")
+	}
+	r.b = nil
+}
+
+func (r *rccSyncReader) u16() uint16 {
+	if len(r.b) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *rccSyncReader) u32() uint32 {
+	if len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *rccSyncReader) u64() uint64 {
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *rccSyncReader) blob() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// rccSyncState is a fully parsed sync point, decoded and bounds-checked in
+// its entirety BEFORE any machine state mutates — a truncated or malformed
+// blob must not leave some instances installed and others not (a retry of
+// the same frontier would then no-op on the already-advanced execRound and
+// the machine would stay torn forever).
+type rccSyncState struct {
+	execRound  types.Round
+	maxDecided types.Round
+	insts      []rccSyncInst
+	assign     map[types.ClientID]types.InstanceID
+	switches   map[types.ClientID]*switchSched
+}
+
+type rccSyncInst struct {
+	voidBelow types.Round
+	lastDec   types.Round
+	stops     int
+	startedAt types.Round
+	inner     []byte
+	coord     []byte
+}
+
+func parseRCCSyncPoint(data []byte, m int) (*rccSyncState, error) {
+	if len(data) < 1 || data[0] != rccSyncPointV1 {
+		return nil, fmt.Errorf("rcc: malformed sync point")
+	}
+	rd := &rccSyncReader{b: data[1:]}
+	st := &rccSyncState{
+		execRound:  types.Round(rd.u64()),
+		maxDecided: types.Round(rd.u64()),
+	}
+	if got := int(rd.u16()); rd.err == nil && got != m {
+		return nil, fmt.Errorf("rcc: sync point has %d instances, this deployment runs %d", got, m)
+	}
+	for i := 0; i < m && rd.err == nil; i++ {
+		st.insts = append(st.insts, rccSyncInst{
+			voidBelow: types.Round(rd.u64()),
+			lastDec:   types.Round(rd.u64()),
+			stops:     int(rd.u32()),
+			startedAt: types.Round(rd.u64()),
+			inner:     rd.blob(),
+			coord:     rd.blob(),
+		})
+	}
+	n := int(rd.u32())
+	if rd.err == nil && n > len(rd.b)/6 {
+		return nil, fmt.Errorf("rcc: malformed sync point assignment")
+	}
+	st.assign = make(map[types.ClientID]types.InstanceID, n)
+	for i := 0; i < n && rd.err == nil; i++ {
+		c := types.ClientID(rd.u32())
+		st.assign[c] = types.InstanceID(rd.u16())
+	}
+	n = int(rd.u32())
+	if rd.err == nil && n > len(rd.b)/16 {
+		return nil, fmt.Errorf("rcc: malformed sync point switches")
+	}
+	st.switches = make(map[types.ClientID]*switchSched, n)
+	for i := 0; i < n && rd.err == nil; i++ {
+		c := types.ClientID(rd.u32())
+		st.switches[c] = &switchSched{
+			from:        types.InstanceID(rd.u16()),
+			to:          types.InstanceID(rd.u16()),
+			activeAfter: types.Round(rd.u64()),
+		}
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if len(rd.b) != 0 {
+		return nil, fmt.Errorf("rcc: %d trailing bytes in sync point", len(rd.b))
+	}
+	return st, nil
+}
+
+// validateParsed checks every nested frontier blob against its instance
+// (capability and format) without mutating anything.
+func (r *Replica) validateParsed(sp *rccSyncState) error {
+	for i, st := range r.states {
+		inner, ok := st.inst.(sm.StateSyncable)
+		if !ok {
+			return fmt.Errorf("rcc: instance %d does not support state transfer", st.id)
+		}
+		if err := inner.ValidateSyncPoint(sp.insts[i].inner); err != nil {
+			return fmt.Errorf("rcc: instance %d: %w", st.id, err)
+		}
+		if err := st.coord.ValidateSyncPoint(sp.insts[i].coord); err != nil {
+			return fmt.Errorf("rcc: instance %d coordinator: %w", st.id, err)
+		}
+	}
+	return nil
+}
+
+// ValidateSyncPoint implements sm.StateSyncable: full structural check —
+// envelope, per-instance capability, and every nested frontier blob — with
+// no mutation.
+func (r *Replica) ValidateSyncPoint(data []byte) error {
+	sp, err := parseRCCSyncPoint(data, len(r.states))
+	if err != nil {
+		return err
+	}
+	return r.validateParsed(sp)
+}
+
+// InstallSyncPoint implements sm.StateSyncable: adopt an attested frontier.
+// The blob — including every nested instance frontier — is parsed and
+// validated in full first; only then does anything mutate, so a rejected
+// sync point can never leave some instances installed and others not.
+// RCC-level fields install before the per-instance installs so deliveries
+// those trigger (rounds committed while the transfer ran) order and execute
+// against the new frontier, not the stale one.
+func (r *Replica) InstallSyncPoint(data []byte) error {
+	sp, err := parseRCCSyncPoint(data, len(r.states))
+	if err != nil {
+		return err
+	}
+	if err := r.validateParsed(sp); err != nil {
+		return err
+	}
+	if sp.execRound <= r.execRound {
+		return nil // already at or past the install point
+	}
+	r.execRound = sp.execRound
+	if sp.maxDecided > r.maxDecided {
+		r.maxDecided = sp.maxDecided
+	}
+	for i, st := range r.states {
+		in := &sp.insts[i]
+		inner, ok := st.inst.(sm.StateSyncable)
+		if !ok {
+			return fmt.Errorf("rcc: instance %d does not support state transfer", st.id)
+		}
+		if in.voidBelow > st.voidBelow {
+			st.voidBelow = in.voidBelow
+		}
+		if in.lastDec > st.lastDec {
+			st.lastDec = in.lastDec
+		}
+		if in.stops > st.stops {
+			st.stops = in.stops
+		}
+		// Delivered-elsewhere rounds below the new execution frontier are
+		// settled by the ledger install; drop their queued decisions.
+		for rnd := range st.decided {
+			if rnd < sp.execRound {
+				delete(st.decided, rnd)
+			}
+		}
+		r.resetDetection(st, in.startedAt)
+		if err := inner.InstallSyncPoint(in.inner); err != nil {
+			return fmt.Errorf("rcc: instance %d: %w", st.id, err)
+		}
+		if err := st.coord.InstallSyncPoint(in.coord); err != nil {
+			return fmt.Errorf("rcc: instance %d coordinator: %w", st.id, err)
+		}
+	}
+	r.assign = sp.assign
+	r.switches = sp.switches
+	r.tryExecute()
+	r.maybeNoOpFill()
+	return nil
+}
+
+var _ sm.StateSyncable = (*Replica)(nil)

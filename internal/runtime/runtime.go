@@ -19,6 +19,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/quorum"
 	"repro/internal/sm"
+	"repro/internal/statesync"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -72,10 +73,34 @@ type Config struct {
 	// (0 disables periodic checkpoints; RCC's dynamic checkpoints still
 	// persist on demand).
 	SnapshotEvery uint64
+	// StateSync enables the checkpoint-based state-transfer subsystem
+	// (requires DataDir and a Machine implementing sm.StateSyncable): the
+	// replica serves its snapshots and ledger to lagging peers, and when
+	// it is itself behind — wiped, corrupted, or partitioned past what
+	// checkpoint catch-up bridges — it fetches the f+1-attested snapshot
+	// plus ledger suffix from peers, installs it crash-atomically, and
+	// rejoins consensus at the cluster head.
+	StateSync bool
+	// SnapshotChunkBytes bounds each served snapshot chunk (default
+	// 256 KiB).
+	SnapshotChunkBytes int
+	// StateSyncSource is the preferred transfer source; types.NoReplica
+	// (or any ID outside the attesting set) falls back to automatic
+	// selection, and the fetcher still rotates away on failure.
+	StateSyncSource types.ReplicaID
+	// StateSyncOfferWait / StateSyncRetry / StateSyncSteadyProbe tune the
+	// manager's probe gathering window, failed-pass retry interval, and
+	// the steady-state re-probe period (defaults in internal/statesync;
+	// tests shrink them).
+	StateSyncOfferWait   time.Duration
+	StateSyncRetry       time.Duration
+	StateSyncSteadyProbe time.Duration
 	// QueueDepth bounds the inbound event queue (default 4096).
 	QueueDepth int
 	// ReplyToClients answers the clients of executed batches.
 	ReplyToClients bool
+	// Logf, when set, receives runtime and state-transfer progress lines.
+	Logf func(format string, args ...any)
 }
 
 // Replica is one running replica process.
@@ -85,6 +110,7 @@ type Replica struct {
 	engine  *exec.Engine
 	log     *ledger.Ledger
 	durable *store.DurableLedger
+	sync    *statesync.Manager
 
 	events chan event
 	timers struct {
@@ -150,6 +176,7 @@ func New(cfg Config) (*Replica, error) {
 		journal = durableJournal{r}
 		r.engine = exec.NewEngine(cfg.App, journal)
 		r.engine.Restore(txns)
+		r.initStateSync()
 		return r, nil
 	}
 	if cfg.Journal {
@@ -159,6 +186,148 @@ func New(cfg Config) (*Replica, error) {
 	}
 	r.engine = exec.NewEngine(cfg.App, journal)
 	return r, nil
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// initStateSync wires the checkpoint-based state-transfer subsystem when
+// configured and the machine supports it. The manager's goroutines start in
+// Run (after the transport is attached).
+func (r *Replica) initStateSync() {
+	if !r.cfg.StateSync {
+		return
+	}
+	if _, ok := r.cfg.Machine.(sm.StateSyncable); !ok {
+		r.logf("runtime: machine %T does not support state transfer; StateSync disabled", r.cfg.Machine)
+		return
+	}
+	r.sync = statesync.New(statesync.Config{
+		Self:          r.cfg.ID,
+		N:             r.cfg.Params.N,
+		Attest:        r.cfg.Params.FaultDetection(),
+		ChunkBytes:    r.cfg.SnapshotChunkBytes,
+		OfferWait:     r.cfg.StateSyncOfferWait,
+		RetryInterval: r.cfg.StateSyncRetry,
+		SteadyProbe:   r.cfg.StateSyncSteadyProbe,
+		Source:        r.cfg.StateSyncSource,
+	}, statesync.Host{
+		Send: func(to types.ReplicaID, m types.Message) {
+			if r.trans != nil {
+				_ = r.trans.Send(to, m)
+			}
+		},
+		Snapshot: func() *store.Snapshot { return r.durable.LatestSnapshot() },
+		Ledger:   func() *ledger.Ledger { return r.durable.Memory() },
+		SyncPoint: func() []byte {
+			return r.cfg.Machine.(sm.StateSyncable).SyncPoint()
+		},
+		Install: r.installFromSync,
+		OnLoop: func(fn func()) bool {
+			select {
+			case r.events <- event{fn: fn}:
+				return true
+			case <-r.stopped:
+				return false
+			}
+		},
+		Logf: r.logf,
+	})
+}
+
+// StateSync returns the state-transfer manager (nil unless Config.StateSync
+// armed it).
+func (r *Replica) StateSync() *statesync.Manager { return r.sync }
+
+// installFromSync applies a verified state transfer. Runs on the event
+// loop: the application and machine are single-threaded by contract, and no
+// execution can interleave with the store swap.
+func (r *Replica) installFromSync(res *statesync.Result) error {
+	if err := r.DurabilityErr(); err != nil {
+		// The disk already failed this process; installing over it would
+		// just hide the fault. Operators restart the replica instead.
+		return err
+	}
+	local := r.durable.Memory().Height()
+	if res.Target <= local {
+		return nil // consensus caught this replica up while the fetch ran
+	}
+	// Reject a malformed or incompatible machine frontier BEFORE the store
+	// commits anything: at this point the whole transfer is still cleanly
+	// retryable, whereas a post-commit failure tears the replica.
+	if len(res.SyncPoint) > 0 {
+		if err := r.cfg.Machine.(sm.StateSyncable).ValidateSyncPoint(res.SyncPoint); err != nil {
+			return err
+		}
+	}
+	if res.Snapshot != nil {
+		// Full install: rebase the store, then rebuild the application
+		// from the installed snapshot + suffix (with per-block digest
+		// audits, exactly like a restart).
+		if err := r.durable.InstallState(res.Snapshot, res.Blocks); err != nil {
+			return err
+		}
+		txns, err := r.durable.RestoreApp(r.cfg.App)
+		if err != nil {
+			// The store committed the new state but the application could
+			// not be rebuilt onto it: the replica is torn. Poison it
+			// (DurabilityErr) so it stops acknowledging and operators
+			// restart it — a reopen re-runs this restore from the durable
+			// install — instead of running on and reporting itself synced.
+			r.setDurErr(err)
+			return err
+		}
+		r.engine.Restore(txns)
+	} else {
+		// Lag-only install: the local prefix is intact, the fetched blocks
+		// extend it; execute them against the live application. Blocks
+		// consensus delivered while the fetch ran are trimmed off the
+		// front (they are the same chain — InstallBlocks re-checks the
+		// hash link onto the local head).
+		blocks := res.Blocks
+		for len(blocks) > 0 && blocks[0].Height < local {
+			blocks = blocks[1:]
+		}
+		if len(blocks) == 0 {
+			return nil
+		}
+		if blocks[0].Height != local {
+			return fmt.Errorf("runtime: catch-up range starts at %d, local height is %d",
+				blocks[0].Height, local)
+		}
+		if err := r.durable.InstallBlocks(blocks); err != nil {
+			return err
+		}
+		for _, blk := range blocks {
+			for i := range blk.Batch.Txns {
+				r.cfg.App.Execute(blk.Batch.Txns[i])
+			}
+			if r.cfg.App.StateDigest() != blk.StateHash {
+				// The blocks are journaled but the application diverged
+				// applying them: torn replica, same poisoning rationale as
+				// the snapshot path.
+				err := fmt.Errorf("runtime: catch-up replay diverged at height %d", blk.Height)
+				r.setDurErr(err)
+				return err
+			}
+		}
+		r.engine.Restore(r.durable.Memory().TxnCount())
+	}
+	// The machine rejoins at the attested frontier; rounds it committed
+	// while the transfer ran deliver (and execute) from here.
+	if len(res.SyncPoint) > 0 {
+		if err := r.cfg.Machine.(sm.StateSyncable).InstallSyncPoint(res.SyncPoint); err != nil {
+			// Store and application are at the target but the machine is
+			// not: poison rather than run split-brained. A restart
+			// re-derives the machine frontier from a fresh sync.
+			r.setDurErr(err)
+			return err
+		}
+	}
+	return nil
 }
 
 // durableJournal routes the engine's block appends through the durable
@@ -210,7 +379,14 @@ func (r *Replica) DurabilityErr() error {
 func (r *Replica) Attach(t transport.Transport) { r.trans = t }
 
 // Ledger returns the journal (nil unless Config.Journal or Config.DataDir).
-func (r *Replica) Ledger() *ledger.Ledger { return r.log }
+// Durable replicas resolve it through the store: a state-transfer install
+// replaces the ledger object, and this accessor always names the live one.
+func (r *Replica) Ledger() *ledger.Ledger {
+	if r.durable != nil {
+		return r.durable.Memory()
+	}
+	return r.log
+}
 
 // Durable returns the durable store (nil unless Config.DataDir).
 func (r *Replica) Durable() *store.DurableLedger { return r.durable }
@@ -245,10 +421,15 @@ func (r *Replica) DeliverClient(from types.ClientID, m types.Message) {
 	}
 }
 
-// Run starts the event loop. It returns immediately; Stop shuts down.
+// Run starts the event loop (and, when configured, the state-transfer
+// manager — a freshly started replica probes its peers before assuming its
+// disk is current). It returns immediately; Stop shuts down.
 func (r *Replica) Run() {
 	r.wg.Add(1)
 	go r.loop()
+	if r.sync != nil {
+		r.sync.Start()
+	}
 }
 
 func (r *Replica) loop() {
@@ -266,6 +447,14 @@ func (r *Replica) loop() {
 			case e.isTimer:
 				r.cfg.Machine.OnTimer(e.timer)
 			default:
+				// State-transfer messages are the runtime's, not the
+				// machine's: probes answer with an offer built here (the
+				// machine frontier and ledger head read in the same
+				// instant), serving and responses hand off to the
+				// manager's goroutines.
+				if r.sync != nil && r.sync.HandleMessage(e.from.Replica, e.from.IsClient, e.msg) {
+					break
+				}
 				r.cfg.Machine.OnMessage(e.from, e.msg)
 			}
 		}
@@ -301,6 +490,12 @@ func (r *Replica) Stop() {
 		r.timers.Unlock()
 	})
 	r.wg.Wait()
+	// The state-transfer manager stops before the store closes: an
+	// in-flight transfer aborts (installs are atomic, nothing partial
+	// remains) and no serve request can touch a closing store.
+	if r.sync != nil {
+		r.sync.Stop()
+	}
 	// Drain the durable store BEFORE closing the transport: in async mode
 	// Close completes every in-flight block's commit point and its
 	// durability callback enqueues the deferred client acks onto the
@@ -495,7 +690,15 @@ func (e *replicaEnv) Suspect(inst types.InstanceID, round types.Round) {
 // application is safe.
 func (e *replicaEnv) PersistCheckpoint() { e.r.saveSnapshot() }
 
-func (e *replicaEnv) Logf(format string, args ...any) {}
+func (e *replicaEnv) Logf(format string, args ...any) { e.r.logf(format, args...) }
+
+// RequestStateSync implements sm.StateSyncRequester: machines report gaps
+// that in-protocol catch-up cannot bridge; the manager coalesces the kicks.
+func (e *replicaEnv) RequestStateSync() {
+	if e.r.sync != nil {
+		e.r.sync.Kick()
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Client process

@@ -163,6 +163,46 @@ type Suspector interface {
 	SuspectClientNeglect(c types.ClientID)
 }
 
+// StateSyncable is optionally implemented by machines that support
+// checkpoint-based state transfer (internal/statesync). A machine that
+// implements it can hand its delivered frontier to a lagging peer and can
+// jump its own frontier to an attested install point, so a replica that
+// installed a snapshot + ledger suffix rejoins consensus at the cluster
+// head instead of waiting on rounds that were decided while it was gone.
+type StateSyncable interface {
+	// SyncPoint returns a deterministic serialization of the machine's
+	// delivered frontier (round watermarks, checkpoint chain anchors),
+	// consistent with the ledger head at the moment of the call. Two
+	// honest replicas with identical frontiers return identical bytes —
+	// which is what lets a fetcher demand f+1 byte-identical sync points
+	// before trusting one. Returns nil when the machine (or one of its
+	// nested instances) cannot serialize its frontier; state transfer is
+	// then unavailable on this deployment.
+	SyncPoint() []byte
+	// ValidateSyncPoint checks that data is a well-formed sync point this
+	// machine could install, WITHOUT mutating anything. Runtimes call it
+	// before committing the expensive ledger install so a malformed or
+	// incompatible frontier is rejected while the transfer is still fully
+	// retryable, and InstallSyncPoint cannot fail halfway through.
+	ValidateSyncPoint(data []byte) error
+	// InstallSyncPoint adopts a sync point obtained from f+1 attesting
+	// peers: every round below the encoded frontier is treated as
+	// delivered-elsewhere (the ledger install covers their effects), and
+	// the machine resumes participation at the frontier. Consensus state
+	// the machine accumulated ABOVE the frontier (votes and commits that
+	// arrived while the transfer ran) is preserved and delivered in order.
+	InstallSyncPoint(data []byte) error
+}
+
+// StateSyncRequester is optionally implemented by an Env whose runtime can
+// run checkpoint-based state transfer. Machines call it when they detect
+// they are in the dark beyond what in-protocol catch-up can bridge — e.g. a
+// certified checkpoint whose body no longer reaches back to the local
+// frontier. The runtime coalesces requests; calling it repeatedly is cheap.
+type StateSyncRequester interface {
+	RequestStateSync()
+}
+
 // CheckpointSink is optionally implemented by an Env whose runtime can
 // persist execution-state checkpoints (the durable snapshot store). RCC
 // calls it when a dynamic per-need checkpoint runs (§III-D), so the

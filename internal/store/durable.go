@@ -53,6 +53,9 @@ type Options struct {
 // re-auditing the rebuilt chain (ledger.Verify, including commit-proof
 // digests), and cross-checking the latest snapshot against it.
 type DurableLedger struct {
+	dir  string
+	opts Options
+
 	mu    sync.Mutex
 	mem   *ledger.Ledger
 	log   *wal.Log
@@ -72,6 +75,12 @@ func Open(dir string, opts Options) (*DurableLedger, error) {
 	if err := stampIdentity(dir, opts.Identity); err != nil {
 		return nil, err
 	}
+	// A crash may have interrupted a state-transfer install: a committed
+	// install (marker present) rolls forward to the new state, an
+	// uncommitted one is discarded — never a half-installed mix.
+	if err := recoverInstall(dir); err != nil {
+		return nil, err
+	}
 	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
 		SegmentBytes: opts.SegmentBytes,
 		Sync:         opts.Sync,
@@ -79,12 +88,31 @@ func Open(dir string, opts Options) (*DurableLedger, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DurableLedger{mem: ledger.New(), log: log}
-	if err := d.replay(); err != nil {
+	d := &DurableLedger{dir: dir, opts: opts, log: log}
+	if d.snaps, err = OpenSnapshots(filepath.Join(dir, "checkpoints"), opts.KeepSnapshots); err != nil {
 		log.Close()
 		return nil, err
 	}
-	if d.snaps, err = OpenSnapshots(filepath.Join(dir, "checkpoints"), opts.KeepSnapshots); err != nil {
+	// A journal whose first record index is past 1 was rebased by a
+	// state-transfer install: blocks below the base live only in the base
+	// snapshot, which anchors the chain's hash links and transaction count.
+	if base := log.Base() - 1; base > 0 {
+		d.snaps.Pin(base)
+		bs, err := d.snaps.Load(base)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		if bs == nil {
+			log.Close()
+			return nil, fmt.Errorf("%w: journal is rebased to height %d but the base checkpoint is missing",
+				ErrSnapshotMismatch, base)
+		}
+		d.mem = ledger.NewAt(base, bs.HeadHash, bs.TxnCount)
+	} else {
+		d.mem = ledger.New()
+	}
+	if err := d.replay(); err != nil {
 		log.Close()
 		return nil, err
 	}
@@ -97,6 +125,13 @@ func Open(dir string, opts Options) (*DurableLedger, error) {
 		if err := d.checkSnapshot(snap); err != nil {
 			log.Close()
 			return nil, err
+		}
+		// v1 snapshot files carried no transaction count; rebuild it from
+		// the replayed chain so state-transfer offers stay accurate.
+		if snap.TxnCount == 0 && snap.Height > 0 && d.mem.Base() == 0 {
+			for h := uint64(0); h < snap.Height; h++ {
+				snap.TxnCount += uint64(d.mem.Get(h).Batch.Len())
+			}
 		}
 		d.snap = snap
 	}
@@ -141,6 +176,20 @@ func (d *DurableLedger) checkSnapshot(snap *Snapshot) error {
 	if snap.Height == 0 {
 		return nil
 	}
+	if snap.Height == d.mem.Base() {
+		// The base snapshot IS the chain's anchor below the rebased
+		// journal: block Height-1 is summarized, not materialized, and the
+		// ledger was constructed from this snapshot's head hash.
+		if snap.HeadHash != d.mem.BaseHash() {
+			return fmt.Errorf("%w: base checkpoint at height %d does not anchor the rebased chain",
+				ErrSnapshotMismatch, snap.Height)
+		}
+		return nil
+	}
+	if snap.Height < d.mem.Base() {
+		return fmt.Errorf("%w: checkpoint at height %d is below the rebased journal (base %d)",
+			ErrSnapshotMismatch, snap.Height, d.mem.Base())
+	}
 	blk := d.mem.Get(snap.Height - 1)
 	if blk.Hash() != snap.HeadHash || blk.StateHash != snap.StateDigest {
 		return fmt.Errorf("%w: checkpoint at height %d does not match the journaled block",
@@ -150,11 +199,21 @@ func (d *DurableLedger) checkSnapshot(snap *Snapshot) error {
 }
 
 // Memory returns the in-memory ledger view (reads: Height, Get, Head,
-// Verify). Mutate only through DurableLedger.Append.
-func (d *DurableLedger) Memory() *ledger.Ledger { return d.mem }
+// Verify). Mutate only through DurableLedger.Append. A state-transfer
+// install replaces the ledger object: long-lived readers should re-fetch
+// rather than cache the pointer.
+func (d *DurableLedger) Memory() *ledger.Ledger {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mem
+}
 
-// LatestSnapshot returns the checkpoint Open validated, or nil.
-func (d *DurableLedger) LatestSnapshot() *Snapshot { return d.snap }
+// LatestSnapshot returns the newest validated checkpoint, or nil.
+func (d *DurableLedger) LatestSnapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snap
+}
 
 // Append journals the block in the WAL and appends it to the in-memory
 // chain. It returns once the record is durable under the log's sync policy.
@@ -208,6 +267,7 @@ func (d *DurableLedger) AppendAsync(batch *types.Batch, proof ledger.Proof, stat
 func (d *DurableLedger) Snapshot(appState []byte) error {
 	d.mu.Lock()
 	head := d.mem.Head()
+	txns := d.mem.TxnCount()
 	d.mu.Unlock()
 	if head == nil {
 		return nil
@@ -219,6 +279,7 @@ func (d *DurableLedger) Snapshot(appState []byte) error {
 		Height:      head.Height + 1,
 		HeadHash:    head.Hash(),
 		StateDigest: head.StateHash,
+		TxnCount:    txns,
 		AppState:    appState,
 	}
 	if err := d.snaps.Save(snap); err != nil {
@@ -238,6 +299,13 @@ func (d *DurableLedger) Snapshot(appState []byte) error {
 // priming executed-transaction counters).
 func (d *DurableLedger) RestoreApp(app exec.Application) (uint64, error) {
 	var from uint64
+	if _, ok := app.(Snapshotter); !ok && d.mem.Base() > 0 {
+		// The blocks below the base exist only inside the base snapshot's
+		// application state; an application that cannot restore snapshots
+		// cannot be rebuilt from a rebased journal.
+		return 0, fmt.Errorf("%w: journal is rebased to height %d but the application does not restore snapshots",
+			ErrSnapshotMismatch, d.mem.Base())
+	}
 	if snapper, ok := app.(Snapshotter); ok && d.snap != nil {
 		if err := snapper.Restore(d.snap.AppState); err != nil {
 			return 0, fmt.Errorf("store: restoring checkpoint at height %d: %w", d.snap.Height, err)

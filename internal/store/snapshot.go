@@ -20,9 +20,10 @@ import (
 )
 
 const (
-	snapMagic  = "RCCCKP1\n"
-	snapPrefix = "ckp-"
-	snapSuffix = ".ckp"
+	snapMagicV1 = "RCCCKP1\n"
+	snapMagic   = "RCCCKP2\n" // v2 adds the cumulative transaction count
+	snapPrefix  = "ckp-"
+	snapSuffix  = ".ckp"
 
 	// DefaultKeepSnapshots is how many generations Save retains.
 	DefaultKeepSnapshots = 2
@@ -41,6 +42,12 @@ type Snapshot struct {
 	// StateDigest is block Height-1's StateHash — the application's own
 	// digest after applying that block.
 	StateDigest types.Digest
+	// TxnCount is the cumulative number of transactions the chain carries
+	// through Height. A replica whose ledger starts at a state-transfer
+	// base needs it to resume the executed counter (client replies hash
+	// it), since the summarized blocks are no longer there to count.
+	// Zero in v1 snapshot files; recomputed from the chain when possible.
+	TxnCount uint64
 	// AppState is the application's serialized state (Snapshotter).
 	AppState []byte
 }
@@ -61,7 +68,16 @@ type Snapshotter interface {
 type SnapshotStore struct {
 	dir  string
 	keep int
+	// pin is a height whose snapshot retention never prunes: the base
+	// snapshot of a rebased ledger is the only record of the summarized
+	// prefix (its head hash and cumulative transaction count), so it must
+	// survive until the next install moves the base. 0 pins nothing (a
+	// genesis-rooted chain needs no base snapshot).
+	pin uint64
 }
+
+// Pin protects the snapshot at height h from retention pruning.
+func (s *SnapshotStore) Pin(h uint64) { s.pin = h }
 
 // OpenSnapshots opens (creating if necessary) a snapshot directory. keep
 // bounds the retained generations (<=0 selects DefaultKeepSnapshots).
@@ -80,18 +96,19 @@ func (s *SnapshotStore) path(height uint64) string {
 }
 
 func encodeSnapshot(snap *Snapshot) []byte {
-	buf := make([]byte, 0, len(snapMagic)+8+32+32+4+len(snap.AppState)+4)
+	buf := make([]byte, 0, len(snapMagic)+8+32+32+8+4+len(snap.AppState)+4)
 	buf = append(buf, snapMagic...)
 	buf = binary.BigEndian.AppendUint64(buf, snap.Height)
 	buf = append(buf, snap.HeadHash[:]...)
 	buf = append(buf, snap.StateDigest[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, snap.TxnCount)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(snap.AppState)))
 	buf = append(buf, snap.AppState...)
 	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 }
 
 func decodeSnapshot(buf []byte) (*Snapshot, error) {
-	const fixed = len(snapMagic) + 8 + 32 + 32 + 4 + 4
+	const fixed = len(snapMagic) + 8 + 32 + 32 + 4 + 4 // v1 floor; v2 adds 8
 	if len(buf) < fixed {
 		return nil, errors.New("store: snapshot file too short")
 	}
@@ -99,7 +116,8 @@ func decodeSnapshot(buf []byte) (*Snapshot, error) {
 	if crc32.ChecksumIEEE(body) != sum {
 		return nil, errors.New("store: snapshot checksum mismatch")
 	}
-	if string(body[:len(snapMagic)]) != snapMagic {
+	v2 := string(body[:len(snapMagic)]) == snapMagic
+	if !v2 && string(body[:len(snapMagicV1)]) != snapMagicV1 {
 		return nil, errors.New("store: snapshot bad magic")
 	}
 	body = body[len(snapMagic):]
@@ -109,6 +127,16 @@ func decodeSnapshot(buf []byte) (*Snapshot, error) {
 	body = body[32:]
 	copy(snap.StateDigest[:], body)
 	body = body[32:]
+	if v2 {
+		if len(body) < 8 {
+			return nil, errors.New("store: snapshot file too short")
+		}
+		snap.TxnCount = binary.BigEndian.Uint64(body)
+		body = body[8:]
+	}
+	if len(body) < 4 {
+		return nil, errors.New("store: snapshot file too short")
+	}
 	n := int(binary.BigEndian.Uint32(body))
 	body = body[4:]
 	if len(body) != n {
@@ -187,13 +215,43 @@ func (s *SnapshotStore) prune() error {
 	if err != nil {
 		return err
 	}
-	for len(hs) > s.keep {
-		if err := os.Remove(s.path(hs[0])); err != nil {
+	live := 0
+	for _, h := range hs {
+		if s.pin != 0 && h == s.pin {
+			continue
+		}
+		live++
+	}
+	for _, h := range hs {
+		if live <= s.keep {
+			break
+		}
+		if s.pin != 0 && h == s.pin {
+			continue
+		}
+		if err := os.Remove(s.path(h)); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		hs = hs[1:]
+		live--
 	}
 	return nil
+}
+
+// Load reads the snapshot at exactly height h, or (nil, nil) when no
+// readable one exists there.
+func (s *SnapshotStore) Load(h uint64) (*Snapshot, error) {
+	data, err := os.ReadFile(s.path(h))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, nil // unreadable (bitrot): treat as absent
+	}
+	return snap, nil
 }
 
 // Latest returns the newest readable snapshot, or (nil, nil) when none

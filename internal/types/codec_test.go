@@ -53,6 +53,15 @@ func codecCorpus() []Message {
 		&HSNewView{Header: Header{Inst: 0}, Replica: 1, View: 2, HighQC: qc},
 		&EpochChange{Header: Header{Inst: 0}, Replica: 1, Epoch: 5, Failed: 2, Round: 7},
 		&NewEpoch{Header: Header{Inst: 0}, Replica: 1, Epoch: 5, Leaders: []ReplicaID{0, 1, 3}, StartRound: 12},
+		&StateOffer{Header: Header{Inst: 0}, Replica: 1, SnapHeight: 64, SnapSize: 4096,
+			ChunkBytes: 1024, SnapAppHash: d1, SnapHeadHash: d2, SnapStateDigest: d3,
+			TxnCount: 640, Height: 70, HeadHash: d1, SyncPoint: []byte{1, 2, 3, 4}},
+		&SnapshotRequest{Header: Header{Inst: 0}, Replica: 1, Height: 64, Chunk: 3},
+		&SnapshotRequest{Header: Header{Inst: 0}, Replica: 1, Chunk: NoChunk}, // probe
+		&SnapshotChunk{Header: Header{Inst: 0}, Replica: 1, Height: 64, Chunk: 3, Of: 4, Data: []byte("chunk bytes")},
+		&BlockRangeRequest{Header: Header{Inst: 0}, Replica: 1, From: 64, To: 70},
+		&BlockRange{Header: Header{Inst: 0}, Replica: 1, From: 64,
+			Blocks: [][]byte{make([]byte, minEncodedBlockLen), make([]byte, minEncodedBlockLen+17)}},
 	}
 }
 
@@ -172,5 +181,46 @@ func TestCodecRejectsForgedCounts(t *testing.T) {
 	buf = appendU32(buf, 0xFFFFFFFF)               // forged evidence count
 	if _, err := DecodeMessage(buf); err == nil {
 		t.Fatal("forged evidence count decoded")
+	}
+
+	// BlockRange claiming 2^32-1 blocks in a tiny frame: the count must
+	// fail the buffer-derived bound (each block needs a 4-byte length
+	// prefix plus at least minEncodedBlockLen bytes of body).
+	buf = []byte{byte(MsgBlockRange)}
+	buf = appendU16(buf, 0)          // inst
+	buf = appendU16(buf, 1)          // replica
+	buf = appendU64(buf, 64)         // from
+	buf = appendU32(buf, 0xFFFFFFFF) // forged block count
+	if _, err := DecodeMessage(buf); err == nil {
+		t.Fatal("forged block count decoded")
+	}
+
+	// SnapshotChunk whose data length claims 2^32-1 bytes: blob() must
+	// refuse, not allocate.
+	buf = []byte{byte(MsgSnapshotChunk)}
+	buf = appendU16(buf, 0)          // inst
+	buf = appendU16(buf, 1)          // replica
+	buf = appendU64(buf, 64)         // height
+	buf = appendU32(buf, 0)          // chunk
+	buf = appendU32(buf, 4)          // of
+	buf = appendU32(buf, 0xFFFFFFFF) // forged data length
+	buf = append(buf, 0xAB)          // one actual byte
+	if _, err := DecodeMessage(buf); err == nil {
+		t.Fatal("forged chunk data length decoded")
+	}
+
+	// StateOffer whose sync-point blob claims more bytes than the frame
+	// holds.
+	var off StateOffer
+	enc2, err := MarshalMessage(&off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]byte(nil), enc2...)
+	// The sync-point length is the final u32 of the encoding.
+	forged[len(forged)-1] = 0xFF
+	forged[len(forged)-2] = 0xFF
+	if _, err := DecodeMessage(forged); err == nil {
+		t.Fatal("forged sync-point length decoded")
 	}
 }

@@ -52,6 +52,15 @@ const (
 	// Mir-BFT-style epoch coordination.
 	MsgEpochChange
 	MsgNewEpoch
+
+	// Checkpoint-based state transfer (internal/statesync): lagging or
+	// wiped replicas fetch an f+1-attested snapshot plus the ledger suffix
+	// from their peers instead of replaying history they no longer have.
+	MsgStateOffer
+	MsgSnapshotRequest
+	MsgSnapshotChunk
+	MsgBlockRangeRequest
+	MsgBlockRange
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -82,6 +91,12 @@ var msgTypeNames = map[MsgType]string{
 	MsgHSNewView:        "HS-NEW-VIEW",
 	MsgEpochChange:      "EPOCH-CHANGE",
 	MsgNewEpoch:         "NEW-EPOCH",
+
+	MsgStateOffer:        "STATE-OFFER",
+	MsgSnapshotRequest:   "SNAPSHOT-REQUEST",
+	MsgSnapshotChunk:     "SNAPSHOT-CHUNK",
+	MsgBlockRangeRequest: "BLOCK-RANGE-REQUEST",
+	MsgBlockRange:        "BLOCK-RANGE",
 }
 
 func (t MsgType) String() string {

@@ -45,7 +45,28 @@
 //     a short record in a non-final segment, a bad segment header — cannot
 //     be the trailing edge of a crash and means the storage itself lied.
 //     Open fails with ErrCorrupt; recovery then requires state transfer
-//     from peers, never a silent gap in the journal.
+//     from peers (internal/statesync: delete the data dir and restart),
+//     never a silent gap in the journal.
+//
+// # Rebase on state-transfer install
+//
+// A log normally starts at record index 1. A state-transfer install
+// (store.InstallState) REBASES it: the staged log's first segment starts
+// at index H+1, where H is the installed snapshot's height — declaring
+// records 1..H summarized by that snapshot rather than lost. Open already
+// accepts a first segment past index 1 (pruned logs share the shape); the
+// store layer enforces that a rebased journal is always accompanied by its
+// base checkpoint (pinned against retention pruning), whose head hash and
+// cumulative transaction count anchor the chain below the first record.
+// Options.FirstIndex is the creation hook; Log.Base reports the rebase
+// point.
+//
+// Acked⇒durable across a state transfer: the async committer is drained
+// and closed before the old journal is retired, the staged log is fully
+// fsynced before the commit marker is written, and the install either
+// completes or leaves the old state untouched — so at every instant the
+// journal on disk covers every transaction any client was ever
+// acknowledged for, on both sides of the swap.
 //
 // # Group commit
 //

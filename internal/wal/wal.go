@@ -52,6 +52,13 @@ type Options struct {
 	SegmentBytes int64
 	// Sync is the durability policy (default SyncGroup).
 	Sync SyncPolicy
+	// FirstIndex, when >1, is the index the first record of a NEWLY
+	// CREATED log receives — the rebase hook of the state-transfer
+	// subsystem: a log staged next to an installed snapshot at height H
+	// starts at index H+1, declaring records 1..H summarized by the
+	// snapshot rather than lost. Ignored when the directory already holds
+	// segments (their names carry the authoritative base).
+	FirstIndex uint64
 }
 
 // ErrCorrupt reports damage that cannot be a torn tail: the log is not
@@ -122,6 +129,9 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, next: 1}
+	if opts.FirstIndex > 1 {
+		l.next = opts.FirstIndex
+	}
 
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -399,6 +409,27 @@ func (l *Log) appendBuffered(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.writeLocked(payload)
+}
+
+// AppendNoSync writes payload as the next record and returns immediately,
+// whatever the sync policy: the record is buffered, not durable, until a
+// later Sync covers it. Bulk installers (state transfer) use it to write a
+// whole block suffix under one fsync instead of one per record.
+func (l *Log) AppendNoSync(payload []byte) (uint64, error) {
+	return l.appendBuffered(payload)
+}
+
+// Base returns the index the oldest segment starts at — the log's rebase
+// point. Records below it were summarized by a snapshot when the log was
+// staged by a state-transfer install (1 for a log that has never been
+// rebased).
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segments) == 0 {
+		return l.next
+	}
+	return l.segments[0].first
 }
 
 // Append writes payload as the next record and returns its 1-based index.
