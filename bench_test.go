@@ -23,6 +23,7 @@ import (
 	"repro/internal/flowsim"
 	"repro/internal/ledger"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rcc"
 	"repro/internal/simnet"
 	"repro/internal/sm"
@@ -513,6 +514,152 @@ func BenchmarkBroadcast(b *testing.B) {
 			for _, r := range recvs {
 				r.Close()
 			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Observability (internal/obs)
+// ---------------------------------------------------------------------------
+
+// BenchmarkObsInstruments prices the individual hot-path instruments: one
+// counter increment, one histogram observation, and one tracer sampling
+// check for an unsampled transaction (the common case — 63 of 64 requests
+// take only this branch). All must be allocation-free.
+func BenchmarkObsInstruments(b *testing.B) {
+	met := obs.NewNodeMetrics(obs.NewRegistry(), 4096, 64)
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			met.Requests.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			met.ObserveStage(obs.StageConsensus, time.Duration(i)%time.Second)
+		}
+	})
+	b.Run("trace-unsampled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Client 1 seq 1 hashes outside the 1-in-64 sample; the call is
+			// the pure rejection path.
+			met.Trace(1, 1, obs.PointArrive)
+		}
+	})
+}
+
+// BenchmarkObsOverhead measures what live instrumentation charges the two
+// paths the observability layer touches most: broadcasting a consensus vote
+// (the event loop's per-decision bill) and committing a block through the
+// async journal. Each path runs with the identical call structure against a
+// no-op sink (zero NodeMetrics — every instrument nil) and a live registry;
+// scripts/benchgate holds live within 5% of nop in CI.
+func BenchmarkObsOverhead(b *testing.B) {
+	variants := []struct {
+		name string
+		met  *obs.NodeMetrics
+	}{
+		{"nop", &obs.NodeMetrics{}},
+		{"live", obs.NewNodeMetrics(obs.NewRegistry(), 4096, 64)},
+	}
+
+	for _, v := range variants {
+		met := v.met
+		b.Run("vote-broadcast/"+v.name, func(b *testing.B) {
+			peerMap := make(map[types.ReplicaID]string)
+			var recvs []*transport.TCP
+			for i := 0; i < 3; i++ {
+				id := types.ReplicaID(i + 1)
+				r, err := transport.NewTCP(transport.TCPConfig{Self: id, Listen: "127.0.0.1:0"}, discardEndpoint{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recvs = append(recvs, r)
+				peerMap[id] = r.Addr()
+			}
+			t0, err := transport.NewTCP(transport.TCPConfig{
+				Self: 0, Listen: "127.0.0.1:0", Peers: peerMap,
+			}, discardEndpoint{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer t0.Close()
+			defer func() {
+				for _, r := range recvs {
+					r.Close()
+				}
+			}()
+			for p := types.ReplicaID(1); p <= 3; p++ {
+				if err := t0.Send(p, bench.NetVote()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			warmDeadline := time.Now().Add(10 * time.Second)
+			for t0.Stats().MsgsSent < 3 {
+				if time.Now().After(warmDeadline) {
+					b.Fatalf("warmup stalled: %+v", t0.Stats())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			vote := bench.NetVote()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The instrumentation a decided round charges the event
+				// loop, around the real network work.
+				met.Requests.Inc()
+				met.Trace(uint64(i%16+1), uint64(i), obs.PointArrive)
+				for p := types.ReplicaID(1); p <= 3; p++ {
+					if err := t0.Send(p, vote); err != nil {
+						b.Fatal(err)
+					}
+				}
+				met.Decided.Inc()
+				met.ObserveStage(obs.StageConsensus, time.Duration(i%1000)*time.Microsecond)
+				met.Trace(uint64(i%16+1), uint64(i), obs.PointDecide)
+			}
+		})
+
+		b.Run("async-journal/"+v.name, func(b *testing.B) {
+			fsync := met.WALFsync
+			d, err := store.Open(b.TempDir(), store.Options{
+				Sync:  wal.SyncGroup,
+				Async: true,
+				AsyncOnCommit: func(_ int, _ int64, took time.Duration) {
+					fsync.Observe(took)
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			state := types.Hash([]byte("state"))
+			var completed atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seq := uint64(i + 1)
+				batch := &types.Batch{Txns: []types.Transaction{{
+					Client: types.ClientID(i%16 + 1), Seq: seq, Op: []byte("op"),
+				}}}
+				proof := ledger.Proof{Round: types.Round(seq), Digest: batch.Digest()}
+				submitted := time.Now()
+				cli, cseq := uint64(i%16+1), seq
+				d.AppendAsync(batch, proof, state, func(lsn uint64, err error) {
+					if err != nil {
+						b.Error(err)
+					}
+					met.ObserveStage(obs.StageJournal, time.Since(submitted))
+					met.Trace(cli, cseq, obs.PointDurable)
+					completed.Add(1)
+				})
+			}
+			for completed.Load() < uint64(b.N) {
+				runtime.Gosched()
+			}
+			b.StopTimer()
 		})
 	}
 }

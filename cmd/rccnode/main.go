@@ -12,18 +12,23 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/runtime"
 	"repro/internal/transport"
@@ -72,6 +77,9 @@ func main() {
 		stateSyn = flag.Bool("state-sync", true, "with -data-dir: serve checkpoints to lagging peers and, when this replica is behind (wiped disk, long partition), fetch the f+1-attested snapshot + ledger suffix and rejoin at the cluster head")
 		chunkB   = flag.Int("snapshot-chunk-bytes", 0, "state sync: snapshot chunk size served to peers (0 = default 256 KiB)")
 		syncSrc  = flag.Int("state-sync-source", -1, "state sync: preferred transfer source replica ID (-1 = automatic; the fetcher still rotates away on failure)")
+		adminArg = flag.String("admin-addr", "", "admin HTTP listener serving /metrics (Prometheus), /healthz, /readyz, /debug/trace, and /debug/pprof (empty = off)")
+		traceN   = flag.Int("trace-sample", 64, "lifecycle tracer: sample 1 in N transactions into the /debug/trace ring (1 = all, negative = off)")
+		traceBuf = flag.Int("trace-buf", 4096, "lifecycle tracer: ring buffer capacity in events")
 	)
 	flag.Parse()
 
@@ -87,11 +95,20 @@ func main() {
 		log.Fatalf("rccnode: %v", err)
 	}
 
+	// The instrument catalog exists only when the admin listener will
+	// serve it: a nil *obs.NodeMetrics is the library's no-op sink, so
+	// every instrumented path degrades to a nil-check.
+	var metrics *obs.NodeMetrics
+	if *adminArg != "" {
+		metrics = obs.NewNodeMetrics(obs.NewRegistry(), *traceBuf, *traceN)
+	}
+
 	opts := core.Options{
 		N:         *n,
 		Protocol:  core.Protocol(*protoArg),
 		BatchSize: *batch,
 		Window:    *window,
+		Metrics:   metrics,
 	}
 	machine, err := core.BuildMachine(&opts)
 	if err != nil {
@@ -137,6 +154,7 @@ func main() {
 		StateSyncSource:      source,
 		ReplyToClients:       true,
 		Logf:                 log.Printf,
+		Metrics:              metrics,
 	})
 	if err != nil {
 		log.Fatalf("rccnode: opening durable state: %v", err)
@@ -170,37 +188,96 @@ func main() {
 	rep.Run()
 	log.Printf("rccnode: replica %d/%d (%s) listening on %s", *id, *n, *protoArg, tcp.Addr())
 
+	if *adminArg != "" {
+		handler := obs.NewHandler(metrics.Registry(), metrics.Tracer, obs.Health{
+			// Liveness: the sticky durability error is fatal — a replica
+			// that cannot journal must be replaced, not retried.
+			Healthy: rep.DurabilityErr,
+			// Readiness: alive, journaling, and caught up (state transfer
+			// done or disabled).
+			Ready: func() error {
+				if err := rep.DurabilityErr(); err != nil {
+					return err
+				}
+				if ss := rep.StateSync(); ss != nil && !ss.Synced() {
+					return errors.New("state transfer in progress: not yet verified at the cluster head")
+				}
+				return nil
+			},
+		})
+		ln, err := net.Listen("tcp", *adminArg)
+		if err != nil {
+			log.Fatalf("rccnode: admin listener: %v", err)
+		}
+		go func() {
+			if err := http.Serve(ln, handler); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("rccnode: admin server: %v", err)
+			}
+		}()
+		log.Printf("rccnode: admin endpoints on http://%s (/metrics /healthz /readyz /debug/trace /debug/pprof)", ln.Addr())
+	}
+
+	done := make(chan struct{})
+	var loops sync.WaitGroup
 	if *dataDir != "" {
 		// Durability watchdog, independent of -stats: a replica that can
 		// no longer journal must stop acknowledging transactions.
+		loops.Add(1)
 		go func() {
-			for range time.Tick(time.Second) {
-				if err := rep.DurabilityErr(); err != nil {
-					log.Fatalf("rccnode: durable journal failed, stopping: %v", err)
+			defer loops.Done()
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := rep.DurabilityErr(); err != nil {
+						log.Fatalf("rccnode: durable journal failed, stopping: %v", err)
+					}
+				case <-done:
+					return
 				}
 			}
 		}()
 	}
 	if *statsSec > 0 {
+		var last uint64
+		started := time.Now()
+		lastAt := started
+		logStats := func(final bool) {
+			cur := rep.Executed()
+			now := time.Now()
+			dt := now.Sub(lastAt).Seconds()
+			if dt <= 0 {
+				dt = 1
+			}
+			st := tcp.Stats()
+			batched := float64(0)
+			if st.BatchesSent > 0 {
+				batched = float64(st.MsgsSent) / float64(st.BatchesSent)
+			}
+			rate := float64(cur-last) / dt
+			if final {
+				// The lifetime summary keeps short runs from exiting silent.
+				rate = float64(cur) / now.Sub(started).Seconds()
+			}
+			log.Printf("rccnode: executed %d txns (%.0f txn/s); sent %d msgs in %d frames (%.1f msgs/frame), dropped peer=%d client=%d, reconnects=%d",
+				cur, rate,
+				st.MsgsSent, st.BatchesSent, batched, st.PeerDropped, st.ClientDropped, st.Reconnects)
+			last = cur
+			lastAt = now
+		}
+		loops.Add(1)
 		go func() {
-			var last uint64
-			for range time.Tick(time.Duration(*statsSec) * time.Second) {
-				cur := rep.Executed()
-				st := tcp.Stats()
-				batched := float64(0)
-				if st.BatchesSent > 0 {
-					batched = float64(st.MsgsSent) / float64(st.BatchesSent)
-				}
-				log.Printf("rccnode: executed %d txns (%.0f txn/s); sent %d msgs in %d frames (%.1f msgs/frame), dropped peer=%d client=%d, reconnects=%d",
-					cur, float64(cur-last)/float64(*statsSec),
-					st.MsgsSent, st.BatchesSent, batched, st.PeerDropped, st.ClientDropped, st.Reconnects)
-				last = cur
-				if ss := rep.StateSync(); ss != nil {
-					if sst := ss.Stats(); sst.Installs > 0 || sst.OffersServed > 0 {
-						log.Printf("rccnode: statesync installs=%d (snapshots=%d) fetched %d chunks/%d blocks (%d B); served %d offers %d chunks %d ranges; refused %d/%d",
-							sst.Installs, sst.InstalledSnaps, sst.ChunksFetched, sst.BlocksFetched, sst.BytesFetched,
-							sst.OffersServed, sst.ChunksServed, sst.RangesServed, sst.ChunksRefused, sst.RangesRefused)
-					}
+			defer loops.Done()
+			tick := time.NewTicker(time.Duration(*statsSec) * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					logStats(false)
+				case <-done:
+					logStats(true)
+					return
 				}
 			}
 		}()
@@ -209,5 +286,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(done)
+	loops.Wait()
 	rep.Stop()
 }

@@ -77,12 +77,25 @@
 // the chain it acknowledges. rccbench -exp statesync reports transfer
 // throughput (MB/s, blocks/s).
 //
+// Observability: internal/obs instruments the full request path —
+// per-stage latency histograms (consensus, unify, execute, journal, ack),
+// consensus/WAL/transport/statesync counters, and a deterministic 1-in-N
+// transaction lifecycle tracer — behind a dependency-free, allocation-free
+// metrics registry whose overhead CI gates at ≤5% of the instrumented hot
+// paths. rccnode -admin-addr serves /metrics (Prometheus text format),
+// /healthz (flips on the sticky durability error), /readyz (journaling and
+// caught up), /debug/trace, and /debug/pprof. See internal/obs and the
+// README's "Observability" section; rccbench -exp stages prints the same
+// stage breakdown against client-observed end-to-end latency.
+//
 // The root-level benchmarks (bench_test.go) expose one testing.B target per
 // table and figure of the paper's evaluation:
 //
 //	go test -bench=. -benchmem .
 //
-// CI runs them (benchtime=1x smoke plus a longer WAL/journal/messaging
-// pass), emits BENCH_ci.json, and gates merges on >25% ns/op regressions
-// against the committed BENCH_baseline.json via scripts/benchgate.
+// CI runs them (benchtime=1x smoke plus a longer WAL/journal/messaging/
+// observability pass), emits BENCH_ci.json, and gates merges on >25%
+// ns/op regressions against the committed BENCH_baseline.json via
+// scripts/benchgate, which also enforces the observability overhead
+// ceiling (-max-overhead).
 package repro

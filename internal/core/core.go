@@ -26,6 +26,7 @@ import (
 	"repro/internal/hotstuff"
 	"repro/internal/ledger"
 	"repro/internal/mirbft"
+	"repro/internal/obs"
 	"repro/internal/pbft"
 	"repro/internal/quorum"
 	"repro/internal/rcc"
@@ -100,6 +101,12 @@ type Options struct {
 	StateSync bool
 	// UnpredictableOrdering enables RCC's §IV permutation ordering.
 	UnpredictableOrdering bool
+	// Metrics is the instrument catalog wired through the consensus
+	// machine and runtime of every replica built from these options. An
+	// in-process cluster shares the one catalog: stage histograms and
+	// consensus counters aggregate across replicas, while per-replica
+	// series carry a replica="ID" label. Nil disables instrumentation.
+	Metrics *obs.NodeMetrics
 }
 
 // ReplicaDir returns the data directory of replica i under base.
@@ -139,6 +146,7 @@ func (o *Options) machine() (sm.Machine, error) {
 			Window:                o.Window,
 			ProgressTimeout:       o.ProgressTimeout,
 			UnpredictableOrdering: o.UnpredictableOrdering,
+			Metrics:               o.Metrics,
 		}
 		switch o.Protocol {
 		case RCCZyzzyva:
@@ -160,6 +168,7 @@ func (o *Options) machine() (sm.Machine, error) {
 	case PBFT:
 		return pbft.New(pbft.Config{
 			BatchSize: o.BatchSize, Window: o.Window, ProgressTimeout: o.ProgressTimeout,
+			Metrics: o.Metrics,
 		}), nil
 	case Zyzzyva:
 		return zyzzyva.New(zyzzyva.Config{
@@ -227,6 +236,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 			AsyncJournal:   opts.AsyncJournal,
 			SnapshotEvery:  opts.SnapshotEvery,
 			ReplyToClients: true,
+			Metrics:        opts.Metrics,
 		}
 		if opts.DataDir != "" {
 			rcfg.DataDir = ReplicaDir(opts.DataDir, i)

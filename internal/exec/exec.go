@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -68,7 +69,13 @@ type Engine struct {
 	app      Application
 	journal  Journal
 	executed uint64
+	met      *obs.NodeMetrics
 }
+
+// SetMetrics attaches the replica's instrument catalog: the engine feeds
+// the execute- and journal-stage latency histograms. Nil (the default)
+// disables instrumentation.
+func (e *Engine) SetMetrics(m *obs.NodeMetrics) { e.met = m }
 
 // NewEngine creates an engine over app, journalling into j (which may be
 // nil to skip journalling, e.g. in micro-benchmarks).
@@ -81,9 +88,21 @@ func NewEngine(app Application, j Journal) *Engine {
 func (e *Engine) ExecuteBatch(batch *types.Batch, proof ledger.Proof) Result {
 	res := e.execute(batch, proof)
 	if e.journal != nil {
-		res.Block = e.journal.Append(batch, proof, res.StateHash)
+		res.Block = e.appendSync(batch, proof, res.StateHash)
 	}
 	return res
+}
+
+// appendSync journals one block synchronously, feeding the journal-stage
+// histogram (submit → durable is one fsync-inclusive call here).
+func (e *Engine) appendSync(batch *types.Batch, proof ledger.Proof, state types.Digest) *ledger.Block {
+	if e.met == nil {
+		return e.journal.Append(batch, proof, state)
+	}
+	start := time.Now()
+	blk := e.journal.Append(batch, proof, state)
+	e.met.ObserveStage(obs.StageJournal, time.Since(start))
+	return blk
 }
 
 // ExecuteBatchAsync is ExecuteBatch over the pipelined commit path: when
@@ -101,11 +120,19 @@ func (e *Engine) ExecuteBatchAsync(batch *types.Batch, proof ledger.Proof, done 
 	res := e.execute(batch, proof)
 	if aj, ok := e.journal.(AsyncJournal); ok {
 		notify := res // value copy: Block stays unset for the callback
+		if met := e.met; met != nil {
+			submitted := time.Now()
+			res.Block = aj.AppendAsync(batch, proof, res.StateHash, func(err error) {
+				met.ObserveStage(obs.StageJournal, time.Since(submitted))
+				done(notify, err)
+			})
+			return res
+		}
 		res.Block = aj.AppendAsync(batch, proof, res.StateHash, func(err error) { done(notify, err) })
 		return res
 	}
 	if e.journal != nil {
-		res.Block = e.journal.Append(batch, proof, res.StateHash)
+		res.Block = e.appendSync(batch, proof, res.StateHash)
 	}
 	notify := res
 	notify.Block = nil
@@ -116,6 +143,10 @@ func (e *Engine) ExecuteBatchAsync(batch *types.Batch, proof ledger.Proof, done 
 // execute applies every transaction of batch in order and assembles the
 // result, leaving journalling to the caller.
 func (e *Engine) execute(batch *types.Batch, proof ledger.Proof) Result {
+	var start time.Time
+	if e.met != nil {
+		start = time.Now()
+	}
 	h := make([]byte, 0, 64)
 	var count [8]byte
 	for i := range batch.Txns {
@@ -125,6 +156,9 @@ func (e *Engine) execute(batch *types.Batch, proof ledger.Proof) Result {
 		e.executed++
 	}
 	binary.BigEndian.PutUint64(count[:], e.executed)
+	if e.met != nil {
+		e.met.ObserveStage(obs.StageExecute, time.Since(start))
+	}
 	return Result{
 		Round:       proof.Round,
 		Instance:    proof.Instance,

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Health wires liveness and readiness probes into the admin handler. A nil
+// probe always passes.
+type Health struct {
+	// Healthy failing (non-nil error) flips /healthz to 503 — wired to the
+	// replica's sticky DurabilityErr: a poisoned journal means the process
+	// must be replaced, not retried.
+	Healthy func() error
+	// Ready failing flips /readyz to 503 — the replica is alive but not
+	// serving at the cluster head yet (state transfer in progress).
+	Ready func() error
+}
+
+// NewHandler returns the admin HTTP handler:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      liveness probe (503 once durability is poisoned)
+//	/readyz       readiness probe (503 until caught up and journaling)
+//	/debug/trace  lifecycle tracer ring dump
+//	/debug/pprof  Go runtime profiles
+func NewHandler(reg *Registry, tr *Tracer, h Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", probe(h.Healthy))
+	mux.HandleFunc("/readyz", probe(h.Ready))
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if tr == nil {
+			fmt.Fprintln(w, "trace: tracing disabled")
+			return
+		}
+		tr.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func probe(f func() error) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if f != nil {
+			if err := f(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	}
+}

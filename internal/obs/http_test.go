@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validatePrometheusText checks a /metrics body against the Prometheus text
+// exposition format (version 0.0.4): comment grammar, metric and label name
+// charsets, float-parsable sample values, TYPE-before-samples ordering, and
+// histogram invariants (cumulative buckets, +Inf bucket equal to _count).
+func validatePrometheusText(t *testing.T, body string) {
+	t.Helper()
+	var (
+		metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+		labelPair  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+	)
+	typed := map[string]string{}     // family -> TYPE
+	bucketCum := map[string]uint64{} // series labels (sans le) -> last cumulative bucket
+	infBucket := map[string]uint64{}
+	counts := map[string]uint64{}
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricName.MatchString(name) {
+				t.Fatalf("line %d: bad HELP: %q", ln+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !metricName.MatchString(fields[0]) {
+				t.Fatalf("line %d: bad TYPE: %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, fields[1])
+			}
+			if _, dup := typed[fields[0]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, fields[0])
+			}
+			typed[fields[0]] = fields[1]
+		case strings.HasPrefix(line, "#"):
+			// free-form comment: fine
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		default:
+			m := sampleLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad sample line: %q", ln+1, line)
+			}
+			name, labels, value := m[1], m[3], m[4]
+			fam := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && typed[base] == "histogram" {
+					fam = base
+				}
+			}
+			if _, ok := typed[fam]; !ok {
+				t.Fatalf("line %d: sample %s before its TYPE", ln+1, name)
+			}
+			var le string
+			var rest []string
+			if labels != "" {
+				for _, pair := range strings.Split(labels, ",") {
+					if !labelPair.MatchString(pair) {
+						t.Fatalf("line %d: bad label pair %q", ln+1, pair)
+					}
+					if v, ok := strings.CutPrefix(pair, "le="); ok {
+						le = strings.Trim(v, `"`)
+					} else {
+						rest = append(rest, pair)
+					}
+				}
+			}
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, value, err)
+			}
+			if typed[fam] == "histogram" {
+				key := fam + "|" + strings.Join(rest, ",")
+				switch {
+				case strings.HasSuffix(name, "_bucket"):
+					if le == "" {
+						t.Fatalf("line %d: bucket without le label", ln+1)
+					}
+					if uint64(v) < bucketCum[key] {
+						t.Fatalf("line %d: bucket not cumulative", ln+1)
+					}
+					bucketCum[key] = uint64(v)
+					if le == "+Inf" {
+						infBucket[key] = uint64(v)
+					}
+				case strings.HasSuffix(name, "_count"):
+					counts[key] = uint64(v)
+				}
+			}
+		}
+	}
+	for key, c := range counts {
+		if inf, ok := infBucket[key]; !ok || inf != c {
+			t.Fatalf("histogram %s: +Inf bucket %d != _count %d", key, infBucket[key], c)
+		}
+	}
+}
+
+func scrape(t *testing.T, reg *Registry, tr *Tracer, h Health, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(reg, tr, h))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpointParses(t *testing.T) {
+	reg := NewRegistry()
+	m := NewNodeMetrics(reg, 128, 1)
+	m.Requests.Add(42)
+	m.Decided.Add(7)
+	m.ObserveStage(StageConsensus, 800*time.Microsecond)
+	m.ObserveStage(StageConsensus, 3*time.Millisecond)
+	m.ObserveStage(StageAck, 12*time.Millisecond)
+	m.WALFsync.Observe(2 * time.Millisecond)
+	reg.Gauge("queue_depth", `peer="2"`, "outbound queue").Set(17)
+	reg.CounterFunc("poll_total", "", "polled counter", func() float64 { return 1234 })
+	reg.GaugeFunc("fractional", "", "non-integral value", func() float64 { return 0.375 })
+
+	code, body := scrape(t, reg, m.Tracer, Health{}, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	validatePrometheusText(t, body)
+
+	for _, want := range []string{
+		"# TYPE rcc_stage_latency_seconds histogram",
+		`rcc_stage_latency_seconds_bucket{stage="consensus",le="+Inf"} 2`,
+		`rcc_stage_latency_seconds_count{stage="consensus"} 2`,
+		"rcc_requests_total 42",
+		"rcc_rounds_decided_total 7",
+		`queue_depth{peer="2"} 17`,
+		"poll_total 1234",
+		"fractional 0.375",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsGolden pins the exact exposition of a small registry — the
+// renderer must not drift, since downstream scrapers parse this by grammar.
+func TestMetricsGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("req_total", "", "requests seen").Add(3)
+	reg.Gauge("depth", `peer="1"`, "queue depth").Set(-2)
+	h := reg.Histogram("lat_seconds", `stage="x"`, "latency")
+	h.Observe(500 * time.Nanosecond) // bucket le=1e-06
+	h.Observe(3 * time.Microsecond)  // bucket le=4e-06
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := strings.Join([]string{
+		"# HELP req_total requests seen",
+		"# TYPE req_total counter",
+		"req_total 3",
+		"# HELP depth queue depth",
+		"# TYPE depth gauge",
+		`depth{peer="1"} -2`,
+		"# HELP lat_seconds latency",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{stage="x",le="1e-06"} 1`,
+		`lat_seconds_bucket{stage="x",le="2e-06"} 1`,
+		`lat_seconds_bucket{stage="x",le="4e-06"} 2`,
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("golden prefix mismatch:\n--- want prefix ---\n%s--- got ---\n%s", want, got)
+	}
+	tail := []string{
+		`lat_seconds_bucket{stage="x",le="+Inf"} 2`,
+		`lat_seconds_sum{stage="x"} 3.5e-06`,
+		`lat_seconds_count{stage="x"} 2`,
+	}
+	for _, line := range tail {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("golden missing line %q in:\n%s", line, got)
+		}
+	}
+	validatePrometheusText(t, got)
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	var healthyErr, readyErr error
+	health := Health{
+		Healthy: func() error { return healthyErr },
+		Ready:   func() error { return readyErr },
+	}
+	reg := NewRegistry()
+
+	if code, body := scrape(t, reg, nil, health, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, _ := scrape(t, reg, nil, health, "/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+
+	readyErr = errors.New("state transfer in progress")
+	if code, body := scrape(t, reg, nil, health, "/readyz"); code != 503 || !strings.Contains(body, "state transfer") {
+		t.Fatalf("/readyz = %d %q, want 503 with reason", code, body)
+	}
+	if code, _ := scrape(t, reg, nil, health, "/healthz"); code != 200 {
+		t.Fatal("/healthz must stay 200 while only readiness fails")
+	}
+
+	healthyErr = fmt.Errorf("wal: %w", errors.New("fsync failed"))
+	if code, body := scrape(t, reg, nil, health, "/healthz"); code != 503 || !strings.Contains(body, "fsync failed") {
+		t.Fatalf("/healthz = %d %q, want 503 with cause", code, body)
+	}
+}
+
+func TestTraceAndPprofEndpoints(t *testing.T) {
+	tr := NewTracer(16, 1)
+	tr.Record(9, 1, PointArrive)
+	tr.Record(9, 1, PointAck)
+	if code, body := scrape(t, NewRegistry(), tr, Health{}, "/debug/trace"); code != 200 || !strings.Contains(body, "client=9 seq=1") {
+		t.Fatalf("/debug/trace = %d %q", code, body)
+	}
+	if code, body := scrape(t, NewRegistry(), nil, Health{}, "/debug/trace"); code != 200 || !strings.Contains(body, "disabled") {
+		t.Fatalf("/debug/trace (no tracer) = %d %q", code, body)
+	}
+	if code, body := scrape(t, NewRegistry(), nil, Health{}, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}

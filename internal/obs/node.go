@@ -1,0 +1,147 @@
+package obs
+
+import "time"
+
+// Stage is one segment of a transaction's server-side lifecycle. The
+// stages tile the path a request takes through the replica, so their sums
+// account for end-to-end latency:
+//
+//	consensus + unify + ack ≈ client-observed server latency
+//
+// where ack itself contains execute and (in async-journal mode) the
+// journal submit→durable wait.
+type Stage uint8
+
+const (
+	// StageConsensus: proposal first seen (pre-prepare) → round decided
+	// and delivered by its BCA instance (pbft).
+	StageConsensus Stage = iota
+	// StageUnify: instance decision received → delivered in the unified
+	// cross-instance execution order (rcc).
+	StageUnify
+	// StageExecute: batch applied to the application state machine (exec).
+	StageExecute
+	// StageJournal: journal record submitted → reported durable (wal).
+	StageJournal
+	// StageAck: unified delivery → client replies enqueued (runtime);
+	// in async-journal mode this spans execution and the durability wait.
+	StageAck
+
+	numStages
+)
+
+var stageNames = [numStages]string{"consensus", "unify", "execute", "journal", "ack"}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// Stages lists every stage in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// NodeMetrics is the replica's instrument catalog: per-stage latency
+// histograms, consensus/runtime counters, and the lifecycle tracer. One
+// NodeMetrics is shared by every layer of a replica (pbft, rcc, exec, wal,
+// runtime), all feeding one Registry.
+//
+// A nil *NodeMetrics — and equally a zero NodeMetrics, whose instrument
+// fields are all nil — is the no-op sink: every method and every instrument
+// call is safe and free-ish, so instrumented code needs no conditional
+// plumbing.
+type NodeMetrics struct {
+	// Tracer samples transaction lifecycles; nil disables tracing.
+	Tracer *Tracer
+
+	// Requests counts client requests admitted by consensus instances
+	// (post-dedup).
+	Requests *Counter
+	// Decided counts rounds decided by individual BCA instances.
+	Decided *Counter
+	// Unified counts rounds delivered in the unified execution order.
+	Unified *Counter
+	// NoOps counts no-op rounds proposed to fill lagging instances.
+	NoOps *Counter
+	// Suspects counts instance-failure suspicions raised.
+	Suspects *Counter
+	// ViewChanges counts new views installed.
+	ViewChanges *Counter
+	// Acks counts client reply messages enqueued.
+	Acks *Counter
+	// WALFsync observes async-appender commit-point (fsync) latency.
+	WALFsync *Histogram
+
+	reg    *Registry
+	stages [numStages]*Histogram
+}
+
+// NewNodeMetrics builds the catalog, registering every instrument in reg.
+// traceSize and traceSample parameterize the lifecycle tracer (zero values
+// pick defaults); traceSample < 0 disables tracing entirely.
+func NewNodeMetrics(reg *Registry, traceSize, traceSample int) *NodeMetrics {
+	m := &NodeMetrics{reg: reg}
+	if traceSample >= 0 {
+		m.Tracer = NewTracer(traceSize, traceSample)
+	}
+	const stageHelp = "per-stage transaction latency: consensus (proposal seen to decided), unify (decided to unified order), execute (state machine apply), journal (submit to durable), ack (delivered to replies enqueued)"
+	for s := Stage(0); s < numStages; s++ {
+		m.stages[s] = reg.Histogram("rcc_stage_latency_seconds", `stage="`+s.String()+`"`, stageHelp)
+	}
+	m.Requests = reg.Counter("rcc_requests_total", "", "client requests admitted by consensus instances")
+	m.Decided = reg.Counter("rcc_rounds_decided_total", "", "rounds decided by individual consensus instances")
+	m.Unified = reg.Counter("rcc_rounds_unified_total", "", "rounds delivered in the unified execution order")
+	m.NoOps = reg.Counter("rcc_noops_proposed_total", "", "no-op rounds proposed to fill lagging instances")
+	m.Suspects = reg.Counter("rcc_suspects_total", "", "instance-failure suspicions raised")
+	m.ViewChanges = reg.Counter("rcc_view_changes_total", "", "new views installed")
+	m.Acks = reg.Counter("rcc_acks_sent_total", "", "client reply messages enqueued")
+	m.WALFsync = reg.Histogram("wal_fsync_seconds", "", "async appender commit-point (fsync) latency")
+	return m
+}
+
+// Registry returns the registry backing the catalog, nil for the no-op
+// sink.
+func (m *NodeMetrics) Registry() *Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// Stage returns the histogram for s (nil on the no-op sink).
+func (m *NodeMetrics) Stage(s Stage) *Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.stages[s]
+}
+
+// Tracing reports whether lifecycle tracing is live — instrumented code
+// uses it to skip per-transaction loops entirely when no tracer is
+// attached.
+func (m *NodeMetrics) Tracing() bool {
+	return m != nil && m.Tracer != nil
+}
+
+// Trace stamps point for the transaction if it is sampled.
+func (m *NodeMetrics) Trace(client, seq uint64, p TracePoint) {
+	if m == nil {
+		return
+	}
+	m.Tracer.Record(client, seq, p)
+}
+
+// ObserveStage is shorthand for Stage(s).Observe(d).
+func (m *NodeMetrics) ObserveStage(s Stage, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stages[s].Observe(d)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TracePoint is one stamp in a transaction's lifecycle.
+type TracePoint uint8
+
+const (
+	// PointArrive: client request admitted by a consensus instance
+	// (post-dedup).
+	PointArrive TracePoint = iota
+	// PointAssign: request routed to its BCA instance (rcc).
+	PointAssign
+	// PointPropose: the round carrying the request was proposed
+	// (pre-prepare seen).
+	PointPropose
+	// PointDecide: the round committed and was delivered by consensus.
+	PointDecide
+	// PointExecute: the batch was applied to the application.
+	PointExecute
+	// PointDurable: the journal record covering the batch was fsync'd.
+	PointDurable
+	// PointAck: client replies for the batch were enqueued.
+	PointAck
+
+	numTracePoints
+)
+
+var pointNames = [numTracePoints]string{
+	"arrive", "assign", "propose", "decide", "execute", "durable", "ack",
+}
+
+func (p TracePoint) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("point(%d)", uint8(p))
+}
+
+// TraceEvent is one recorded lifecycle stamp.
+type TraceEvent struct {
+	Client uint64
+	Seq    uint64
+	Point  TracePoint
+	At     time.Time
+}
+
+// Tracer records lifecycle stamps for a deterministic 1-in-N sample of
+// transactions into a fixed-size ring buffer, dumpable on demand via
+// /debug/trace. Sampled is a pure arithmetic check with no synchronization,
+// so the unsampled hot path pays a few nanoseconds and zero allocations;
+// only sampled events take the ring's mutex. A nil Tracer records nothing.
+type Tracer struct {
+	sample uint64
+
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next uint64 // total events recorded; next slot is next % len(buf)
+}
+
+// NewTracer returns a tracer holding size events, sampling one transaction
+// in sampleN (1 = every transaction).
+func NewTracer(size, sampleN int) *Tracer {
+	if size <= 0 {
+		size = 4096
+	}
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	return &Tracer{sample: uint64(sampleN), buf: make([]TraceEvent, size)}
+}
+
+// Sampled reports whether the transaction (client, seq) is in the sample.
+// The decision is a stateless hash, so every replica — and every stage on
+// one replica — samples the same transactions.
+func (t *Tracer) Sampled(client, seq uint64) bool {
+	if t == nil {
+		return false
+	}
+	if t.sample <= 1 {
+		return true
+	}
+	h := (client + 1) * 0x9E3779B97F4A7C15
+	h ^= (seq + 1) * 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return h%t.sample == 0
+}
+
+// Record stamps point for the transaction if it is sampled.
+func (t *Tracer) Record(client, seq uint64, p TracePoint) {
+	if t == nil || !t.Sampled(client, seq) {
+		return
+	}
+	ev := TraceEvent{Client: client, Seq: seq, Point: p, At: time.Now()}
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = ev
+	t.next++
+	t.mu.Unlock()
+}
+
+// Dump returns the buffered events, oldest first.
+func (t *Tracer) Dump() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	size := uint64(len(t.buf))
+	start := uint64(0)
+	count := n
+	if n > size {
+		start = n % size
+		count = size
+	}
+	out := make([]TraceEvent, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, t.buf[(start+i)%size])
+	}
+	return out
+}
+
+// WriteText renders the ring grouped by transaction, each stamp shown as a
+// delta from the transaction's first recorded stamp.
+func (t *Tracer) WriteText(w io.Writer) {
+	events := t.Dump()
+	if len(events) == 0 {
+		fmt.Fprintln(w, "trace: no sampled events recorded")
+		return
+	}
+	type key struct{ client, seq uint64 }
+	order := make([]key, 0, 64)
+	grouped := make(map[key][]TraceEvent, 64)
+	for _, ev := range events {
+		k := key{ev.Client, ev.Seq}
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], ev)
+	}
+	fmt.Fprintf(w, "trace: %d events, %d transactions (1 in %d sampled)\n", len(events), len(order), t.sample)
+	for _, k := range order {
+		evs := grouped[k]
+		base := evs[0].At
+		fmt.Fprintf(w, "client=%d seq=%d  %s", k.client, k.seq, base.Format("15:04:05.000000"))
+		for _, ev := range evs {
+			fmt.Fprintf(w, "  %s+%s", ev.Point, ev.At.Sub(base).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sm"
 	"repro/internal/types"
 )
@@ -58,6 +59,9 @@ type Config struct {
 	BatchSize int
 	// BatchTimeout proposes a partial batch after this delay.
 	BatchTimeout time.Duration
+	// Metrics receives consensus counters, the consensus-stage latency
+	// histogram, and lifecycle trace stamps. Nil disables instrumentation.
+	Metrics *obs.NodeMetrics
 }
 
 func (c *Config) defaults() {
@@ -83,6 +87,7 @@ type round struct {
 	view        types.View
 	digest      types.Digest
 	batch       *types.Batch
+	seenAt      time.Duration // env.Now() when the proposal was first seen
 	preprepared bool
 	prepares    map[types.Digest]map[types.ReplicaID]struct{}
 	commits     map[types.Digest]map[types.ReplicaID]struct{}
@@ -477,6 +482,10 @@ func (p *Instance) onClientRequest(from sm.Source, m *types.ClientRequest) {
 	}
 	p.pendingSet[key] = struct{}{}
 	p.pending = append(p.pending, m.Tx)
+	if met := p.cfg.Metrics; met != nil {
+		met.Requests.Inc()
+		met.Trace(uint64(m.Tx.Client), m.Tx.Seq, obs.PointArrive)
+	}
 	if !p.IsPrimary() {
 		// A backup starts its failure-detection timer when it learns
 		// of a request: the primary must propose it in time.
@@ -527,6 +536,13 @@ func (p *Instance) onPrePrepare(from types.ReplicaID, m *types.PrePrepare) {
 	rd.digest = m.Digest
 	rd.batch = m.Batch
 	rd.preprepared = true
+	rd.seenAt = p.env.Now()
+	if met := p.cfg.Metrics; met.Tracing() {
+		for i := range m.Batch.Txns {
+			tx := &m.Batch.Txns[i]
+			met.Trace(uint64(tx.Client), tx.Seq, obs.PointPropose)
+		}
+	}
 	p.armTimer()
 
 	if !rd.sentPrepare {
@@ -597,6 +613,18 @@ func (p *Instance) tryDeliver() {
 		p.chain = chainStep(p.chain, rd.digest)
 		p.chainAt[p.deliver] = p.chain
 		p.markDelivered(rd.batch)
+		if met := p.cfg.Metrics; met != nil {
+			met.Decided.Inc()
+			if rd.seenAt > 0 {
+				met.ObserveStage(obs.StageConsensus, p.env.Now()-rd.seenAt)
+			}
+			if met.Tracing() && rd.batch != nil {
+				for i := range rd.batch.Txns {
+					tx := &rd.batch.Txns[i]
+					met.Trace(uint64(tx.Client), tx.Seq, obs.PointDecide)
+				}
+			}
+		}
 		p.env.Deliver(sm.Decision{
 			Instance: p.cfg.Instance,
 			Round:    p.deliver,
@@ -678,6 +706,9 @@ func (p *Instance) markDelivered(b *types.Batch) {
 
 // suspect reports a detected primary failure.
 func (p *Instance) suspect(rnd types.Round) {
+	if met := p.cfg.Metrics; met != nil {
+		met.Suspects.Inc()
+	}
 	if p.cfg.FixedPrimary {
 		p.env.Suspect(p.cfg.Instance, rnd)
 		return

@@ -210,6 +210,9 @@ func (p *Instance) onNewView(from types.ReplicaID, m *types.NewView) {
 	if p.IsPrimary() {
 		p.maybeProposeBatch()
 	}
+	if met := p.cfg.Metrics; met != nil {
+		met.ViewChanges.Inc()
+	}
 	if p.viewInstalled != nil {
 		p.viewInstalled(m.NewView)
 	}

@@ -3,6 +3,7 @@ package rcc
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pbft"
 	"repro/internal/sm"
 	"repro/internal/types"
@@ -20,6 +21,9 @@ type InstanceConfig struct {
 	Window          int
 	BatchSize       int
 	ProgressTimeout time.Duration
+	// Metrics is the replica's instrument catalog; factories whose BCA
+	// supports instrumentation forward it (nil disables).
+	Metrics *obs.NodeMetrics
 }
 
 // Config parameterizes an RCC replica.
@@ -47,6 +51,10 @@ type Config struct {
 	DisableNoOpFill bool
 	// NewInstance creates the underlying BCA; nil selects PBFT.
 	NewInstance Factory
+	// Metrics receives unification counters, the unify-stage latency
+	// histogram, and lifecycle trace stamps, and is forwarded to each
+	// BCA instance. Nil disables instrumentation.
+	Metrics *obs.NodeMetrics
 }
 
 func (c *Config) defaults(n int) {
@@ -84,6 +92,7 @@ func PBFTFactory() Factory {
 			Window:          cfg.Window,
 			BatchSize:       cfg.BatchSize,
 			ProgressTimeout: cfg.ProgressTimeout,
+			Metrics:         cfg.Metrics,
 		})
 	}
 }
@@ -109,6 +118,9 @@ type instState struct {
 	coord   *pbft.Instance
 
 	decided map[types.Round]sm.Decision
+	// decidedAt stamps when each decided round arrived (env.Now), feeding
+	// the unify-stage latency histogram; nil when metrics are off.
+	decidedAt map[types.Round]time.Duration
 	// voidBelow is the void watermark: every round below it that is not in
 	// decided was agreed (via stop(i;E)) to hold no proposal. A watermark
 	// rather than a per-round set keeps restart penalties O(1) in space.
@@ -186,12 +198,16 @@ func (r *Replica) Start(env sm.Env) {
 			decided:  make(map[types.Round]sm.Decision),
 			failures: make(map[types.ReplicaID]*types.Failure),
 		}
+		if r.cfg.Metrics != nil {
+			st.decidedAt = make(map[types.Round]time.Duration)
+		}
 		st.inst = r.cfg.NewInstance(InstanceConfig{
 			Instance:        id,
 			Primary:         st.primary,
 			Window:          r.cfg.Window,
 			BatchSize:       r.cfg.BatchSize,
 			ProgressTimeout: r.cfg.ProgressTimeout,
+			Metrics:         r.cfg.Metrics,
 		})
 		// The coordinating consensus P for instance i is a standalone
 		// PBFT instance (view changes enabled) whose initial leader is
@@ -374,6 +390,9 @@ func (r *Replica) routeClientRequest(from sm.Source, m *types.ClientRequest) {
 		r.completeSwitch(c, sched)
 	}
 	inst := r.Assignment(c)
+	if met := r.cfg.Metrics; met != nil {
+		met.Trace(uint64(c), m.Tx.Seq, obs.PointAssign)
+	}
 	fwd := types.NewClientRequest(inst, m.Tx)
 	r.states[inst].inst.OnMessage(from, fwd)
 }
@@ -418,6 +437,9 @@ func (r *Replica) onDecision(inst types.InstanceID, d sm.Decision) {
 		return
 	}
 	st.decided[d.Round] = d
+	if st.decidedAt != nil {
+		st.decidedAt[d.Round] = r.env.Now()
+	}
 	if d.Round > st.lastDec {
 		st.lastDec = d.Round
 	}
@@ -479,8 +501,19 @@ func (r *Replica) tryExecute() {
 		for _, p := range ord {
 			r.env.Deliver(slots[p].dec)
 		}
+		met := r.cfg.Metrics
 		for _, s := range slots {
-			delete(r.states[s.inst].decided, r.execRound)
+			st := r.states[s.inst]
+			delete(st.decided, r.execRound)
+			if st.decidedAt != nil {
+				if at, ok := st.decidedAt[r.execRound]; ok {
+					met.ObserveStage(obs.StageUnify, r.env.Now()-at)
+					delete(st.decidedAt, r.execRound)
+				}
+			}
+		}
+		if met != nil {
+			met.Unified.Inc()
 		}
 		r.roundsExecuted++
 		r.execRound++
@@ -566,5 +599,8 @@ func (r *Replica) maybeNoOpFill() {
 			return
 		}
 		r.noopsProposed++
+		if met := r.cfg.Metrics; met != nil {
+			met.NoOps.Inc()
+		}
 	}
 }

@@ -279,6 +279,7 @@ func (r *Replica) InstallSyncPoint(data []byte) error {
 		for rnd := range st.decided {
 			if rnd < sp.execRound {
 				delete(st.decided, rnd)
+				delete(st.decidedAt, rnd)
 			}
 		}
 		r.resetDetection(st, in.startedAt)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/sm"
 	"repro/internal/statesync"
@@ -99,6 +100,13 @@ type Config struct {
 	QueueDepth int
 	// ReplyToClients answers the clients of executed batches.
 	ReplyToClients bool
+	// Metrics is the replica's instrument catalog (shared with the
+	// consensus machine). New wires it through the execution engine and
+	// durable store, registers the replica's own gauges plus WAL and
+	// statesync counters — each labeled replica="ID" so an in-process
+	// cluster can share one registry — and Attach adds the transport's.
+	// Nil disables instrumentation.
+	Metrics *obs.NodeMetrics
 	// Logf, when set, receives runtime and state-transfer progress lines.
 	Logf func(format string, args ...any)
 }
@@ -156,11 +164,17 @@ func New(cfg Config) (*Replica, error) {
 	r.timers.m = make(map[sm.TimerID]*time.Timer)
 	var journal exec.Journal
 	if cfg.DataDir != "" {
+		var onCommit func(records int, bytes int64, took time.Duration)
+		if cfg.Metrics != nil {
+			fsync := cfg.Metrics.WALFsync
+			onCommit = func(_ int, _ int64, took time.Duration) { fsync.Observe(took) }
+		}
 		dl, err := store.Open(cfg.DataDir, store.Options{
 			Sync:               cfg.Durability,
 			Async:              cfg.AsyncJournal,
 			AsyncQueueDepth:    cfg.JournalQueueDepth,
 			AsyncMaxBatchBytes: cfg.JournalMaxBatchBytes,
+			AsyncOnCommit:      onCommit,
 			Identity:           fmt.Sprintf("replica-%d", cfg.ID),
 		})
 		if err != nil {
@@ -175,8 +189,10 @@ func New(cfg Config) (*Replica, error) {
 		r.log = dl.Memory()
 		journal = durableJournal{r}
 		r.engine = exec.NewEngine(cfg.App, journal)
+		r.engine.SetMetrics(cfg.Metrics)
 		r.engine.Restore(txns)
 		r.initStateSync()
+		r.registerMetrics()
 		return r, nil
 	}
 	if cfg.Journal {
@@ -185,7 +201,60 @@ func New(cfg Config) (*Replica, error) {
 		journal = l
 	}
 	r.engine = exec.NewEngine(cfg.App, journal)
+	r.engine.SetMetrics(cfg.Metrics)
+	r.registerMetrics()
 	return r, nil
+}
+
+// registerMetrics publishes the replica's own instruments — executed-work
+// counters, ledger head gauges, the durability health gauge, WAL counters,
+// and the statesync counters — into the catalog's registry. Every series
+// carries a replica="ID" label so replicas of one in-process cluster can
+// share a registry without colliding.
+func (r *Replica) registerMetrics() {
+	reg := r.cfg.Metrics.Registry()
+	if reg == nil {
+		return
+	}
+	rl := fmt.Sprintf(`replica="%d"`, r.cfg.ID)
+	reg.CounterFunc("rcc_txns_executed_total", rl, "transactions executed by this process", func() float64 {
+		return float64(r.Executed())
+	})
+	reg.GaugeFunc("rcc_durability_healthy", rl, "1 while the durable store is healthy or disabled, 0 once the sticky durability error is set", func() float64 {
+		if r.DurabilityErr() != nil {
+			return 0
+		}
+		return 1
+	})
+	reg.GaugeFunc("rcc_ledger_height", rl, "blocks in the journal", func() float64 {
+		if l := r.Ledger(); l != nil {
+			return float64(l.Height())
+		}
+		return 0
+	})
+	if dl := r.durable; dl != nil {
+		reg.CounterFunc("wal_appends_total", rl, "WAL records appended", func() float64 {
+			appends, _ := dl.WAL().Stats()
+			return float64(appends)
+		})
+		reg.CounterFunc("wal_fsyncs_total", rl, "WAL commit points (fsyncs) issued", func() float64 {
+			_, syncs := dl.WAL().Stats()
+			return float64(syncs)
+		})
+		if ap := dl.Appender(); ap != nil {
+			reg.CounterFunc("wal_appender_submitted_total", rl, "records submitted to the async appender", func() float64 {
+				submitted, _ := ap.Stats()
+				return float64(submitted)
+			})
+			reg.CounterFunc("wal_appender_batches_total", rl, "async appender commit points issued", func() float64 {
+				_, batches := ap.Stats()
+				return float64(batches)
+			})
+		}
+	}
+	if r.sync != nil {
+		r.sync.RegisterMetrics(reg)
+	}
 }
 
 func (r *Replica) logf(format string, args ...any) {
@@ -375,8 +444,63 @@ func (r *Replica) DurabilityErr() error {
 	return r.durErr
 }
 
-// Attach wires the transport (must precede Run).
-func (r *Replica) Attach(t transport.Transport) { r.trans = t }
+// Attach wires the transport (must precede Run). When metrics are live and
+// the transport is TCP, its counters and per-link queue gauges join the
+// registry.
+func (r *Replica) Attach(t transport.Transport) {
+	r.trans = t
+	reg := r.cfg.Metrics.Registry()
+	if reg == nil {
+		return
+	}
+	tcp, ok := t.(*transport.TCP)
+	if !ok {
+		return
+	}
+	rl := fmt.Sprintf(`replica="%d"`, r.cfg.ID)
+	counters := []struct {
+		name, help string
+		get        func(transport.TCPStats) uint64
+	}{
+		{"transport_msgs_sent_total", "messages handed to the framing layer", func(s transport.TCPStats) uint64 { return s.MsgsSent }},
+		{"transport_frames_sent_total", "coalesced frames written to sockets", func(s transport.TCPStats) uint64 { return s.BatchesSent }},
+		{"transport_peer_dropped_total", "replica-bound messages dropped on a down link", func(s transport.TCPStats) uint64 { return s.PeerDropped }},
+		{"transport_client_dropped_total", "client-bound messages dropped on overflow", func(s transport.TCPStats) uint64 { return s.ClientDropped }},
+		{"transport_reconnects_total", "peer link redials", func(s transport.TCPStats) uint64 { return s.Reconnects }},
+		{"transport_bad_header_total", "frames rejected for a malformed header", func(s transport.TCPStats) uint64 { return s.BadHeader }},
+		{"transport_decode_errors_total", "messages that failed decoding", func(s transport.TCPStats) uint64 { return s.DecodeErrs }},
+		{"transport_encode_errors_total", "messages that failed encoding", func(s transport.TCPStats) uint64 { return s.EncodeErrs }},
+		{"transport_auth_rejects_total", "connections rejected by MAC authentication", func(s transport.TCPStats) uint64 { return s.AuthRejects }},
+	}
+	for _, c := range counters {
+		get := c.get
+		reg.CounterFunc(c.name, rl, c.help, func() float64 { return float64(get(tcp.Stats())) })
+	}
+	reg.GaugeFunc("transport_peer_queue_depth", rl, "messages waiting across outbound replica links", func() float64 {
+		total := 0
+		for _, l := range tcp.LinkStats() {
+			total += l.Queued
+		}
+		return float64(total)
+	})
+	reg.GaugeFunc("transport_peers_connected", rl, "outbound replica links currently connected", func() float64 {
+		n := 0
+		for _, l := range tcp.LinkStats() {
+			if l.Connected {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("transport_client_links", rl, "connected client links", func() float64 {
+		links, _ := tcp.ClientLinks()
+		return float64(links)
+	})
+	reg.GaugeFunc("transport_client_queue_depth", rl, "messages waiting toward clients", func() float64 {
+		_, queued := tcp.ClientLinks()
+		return float64(queued)
+	})
+}
 
 // Ledger returns the journal (nil unless Config.Journal or Config.DataDir).
 // Durable replicas resolve it through the store: a state-transfer install
@@ -585,6 +709,11 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 		Instance: d.Instance, Round: d.Round, View: d.View,
 		Digest: d.Digest, Signers: d.Signers,
 	}
+	met := r.cfg.Metrics
+	var delivAt time.Time
+	if met != nil {
+		delivAt = time.Now()
+	}
 	var res exec.Result
 	if r.cfg.AsyncJournal && r.durable != nil {
 		// The callback runs on the WAL committer goroutine; d and the
@@ -600,7 +729,13 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 				// let clients collect f+1 replies from healthy replicas.
 				return
 			}
+			if met.Tracing() {
+				traceBatch(met, d.Batch, obs.PointDurable)
+			}
 			e.ackClients(d, nres)
+			if met != nil {
+				met.ObserveStage(obs.StageAck, time.Since(delivAt))
+			}
 		})
 	} else {
 		res = r.engine.ExecuteBatch(d.Batch, proof)
@@ -608,6 +743,9 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 	r.mu.Lock()
 	r.executed += uint64(res.TxnExecuted)
 	r.mu.Unlock()
+	if met.Tracing() {
+		traceBatch(met, d.Batch, obs.PointExecute)
+	}
 	if r.cfg.SnapshotEvery > 0 && res.Block != nil &&
 		(res.Block.Height+1)%r.cfg.SnapshotEvery == 0 {
 		r.saveSnapshot()
@@ -616,6 +754,20 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 		return // replies ride on the durability callback
 	}
 	e.ackClients(d, res)
+	if met != nil {
+		met.ObserveStage(obs.StageAck, time.Since(delivAt))
+	}
+}
+
+// traceBatch stamps one lifecycle point for every sampled transaction of a
+// batch.
+func traceBatch(met *obs.NodeMetrics, batch *types.Batch, p obs.TracePoint) {
+	for i := range batch.Txns {
+		tx := &batch.Txns[i]
+		if !tx.IsNoOp() {
+			met.Trace(uint64(tx.Client), tx.Seq, p)
+		}
+	}
 }
 
 // ackClients answers the clients covered by a decided, executed, durable
@@ -642,6 +794,7 @@ func (e *replicaEnv) ackClients(d sm.Decision, res exec.Result) {
 			seen[tx.Client] = tx.Seq
 		}
 	}
+	met := r.cfg.Metrics
 	for c, seq := range seen {
 		reply := &types.ClientReply{
 			Replica: r.cfg.ID, Client: c, Seq: seq,
@@ -649,6 +802,10 @@ func (e *replicaEnv) ackClients(d sm.Decision, res exec.Result) {
 		}
 		reply.Inst = d.Instance
 		e.SendClient(c, reply)
+		if met != nil {
+			met.Acks.Inc()
+			met.Trace(uint64(c), seq, obs.PointAck)
+		}
 	}
 }
 

@@ -174,6 +174,7 @@ type Result struct {
 type Stats struct {
 	Probes         uint64 // probe broadcasts sent
 	OffersServed   uint64 // StateOffers answered to peers
+	OffersRejected uint64 // offers discarded for failing f+1 attestation
 	ChunksServed   uint64 // snapshot chunks served
 	RangesServed   uint64 // block ranges served
 	ChunksFetched  uint64 // chunks accepted from peers
@@ -339,9 +340,10 @@ func (m *Manager) serveOffer(to types.ReplicaID) {
 	}
 	lg := m.host.Ledger()
 	height, headHash := lg.Tip()
-	if height == 0 {
-		return // nothing to offer
-	}
+	// A height-0 offer is still an answer: it tells the prober this peer is
+	// alive and holds nothing — silence would be indistinguishable from a
+	// dead peer, and a fresh cluster could never establish that genesis IS
+	// the head (so Synced, and /readyz, would hang until first progress).
 	sp := m.host.SyncPoint()
 	if sp == nil {
 		return // machine cannot serialize its frontier
@@ -551,6 +553,13 @@ func (m *Manager) syncPass() (bool, error) {
 			return false, errNoOffers
 		}
 		// Peers answered and none claims more than we have: nothing to do.
+		// With enough answers to have attested a higher target had one
+		// existed, that silence is positive evidence the replica IS the
+		// head — mark it synced so readiness does not hang on a fresh or
+		// idle cluster that never needed a transfer.
+		if info.responses >= m.cfg.Attest {
+			m.synced.Store(true)
+		}
 		return false, nil
 	}
 	// One consistent (height, head) pair: reading them separately could
@@ -684,14 +693,19 @@ gather:
 	}
 	var best *types.StateOffer
 	var bestSrc []types.ReplicaID
+	rejected := 0
 	for k, members := range groups {
 		if len(members) < m.cfg.Attest {
+			rejected += len(members)
 			continue
 		}
 		if best == nil || k.height > best.Height {
 			best = offers[members[0]]
 			bestSrc = members
 		}
+	}
+	if rejected > 0 {
+		m.bump(func(s *Stats) { s.OffersRejected += uint64(rejected) })
 	}
 	if best == nil {
 		return nil, nil, info

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/ledger"
@@ -39,6 +40,10 @@ type Options struct {
 	// AsyncMaxBatchBytes caps the bytes one fsync covers in async mode
 	// (default wal.DefaultMaxBatchBytes).
 	AsyncMaxBatchBytes int64
+	// AsyncOnCommit, when set, observes every successful async commit
+	// point (records and bytes covered, commit-point duration) — the
+	// metrics hook. It runs on the committer goroutine; keep it fast.
+	AsyncOnCommit func(records int, bytes int64, took time.Duration)
 	// Identity names the replica owning the data dir. On first open it is
 	// stamped into the dir; a reopen under a different identity fails with
 	// ErrDataDirMismatch (a data dir is not portable across replicas —
@@ -139,6 +144,7 @@ func Open(dir string, opts Options) (*DurableLedger, error) {
 		d.async = log.NewAppender(wal.AsyncOptions{
 			QueueDepth:    opts.AsyncQueueDepth,
 			MaxBatchBytes: opts.AsyncMaxBatchBytes,
+			OnCommit:      opts.AsyncOnCommit,
 		})
 	}
 	return d, nil

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -220,6 +221,39 @@ func (t *TCP) Stats() TCPStats {
 		EncodeErrs:    t.encodeErrs.Load(),
 		AuthRejects:   t.authRejects.Load(),
 	}
+}
+
+// LinkStat is a point-in-time view of one outbound replica link.
+type LinkStat struct {
+	Peer      types.ReplicaID
+	Queued    int  // messages waiting in the link's outbound queue
+	Connected bool // writer currently holds a live connection
+}
+
+// LinkStats snapshots every outbound replica link, sorted by peer ID —
+// queue depths expose where backpressure is building, connected flags
+// expose partitions.
+func (t *TCP) LinkStats() []LinkStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]LinkStat, 0, len(t.queues))
+	for id, q := range t.queues {
+		out = append(out, LinkStat{Peer: id, Queued: len(q.ch), Connected: q.connected.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// ClientLinks reports the number of connected client links and the total
+// messages queued toward clients.
+func (t *TCP) ClientLinks() (links, queued int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, q := range t.clientsByID {
+		links++
+		queued += len(q.ch)
+	}
+	return links, queued
 }
 
 // addConn registers a live connection; during shutdown it refuses so no new

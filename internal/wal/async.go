@@ -3,6 +3,7 @@ package wal
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -24,6 +25,11 @@ type AsyncOptions struct {
 	// Smaller batches bound completion latency; larger ones amortize the
 	// fsync further (default DefaultMaxBatchBytes).
 	MaxBatchBytes int64
+	// OnCommit, when set, observes every successful commit point: the
+	// records and payload bytes it covered and how long the commit point
+	// (flush + fsync) took. It runs on the committer goroutine before the
+	// covered callbacks fire, so it must be fast and must not block.
+	OnCommit func(records int, bytes int64, took time.Duration)
 }
 
 // pendingRec is one submitted record awaiting its commit point.
@@ -222,6 +228,10 @@ func (a *Appender) commit(batch []pendingRec) {
 	a.mu.Unlock()
 	var lsn uint64
 	if err == nil {
+		var start time.Time
+		if a.opts.OnCommit != nil {
+			start = time.Now()
+		}
 		if a.log.opts.Sync == SyncNone {
 			// The log's owner opted out of fsync: push to the OS and call
 			// that the commit point, best-effort like synchronous SyncNone.
@@ -233,6 +243,12 @@ func (a *Appender) commit(batch []pendingRec) {
 		a.batches.Add(1)
 		if err != nil {
 			a.fail(err)
+		} else if a.opts.OnCommit != nil {
+			var size int64
+			for i := range batch {
+				size += batch[i].size
+			}
+			a.opts.OnCommit(len(batch), size, time.Since(start))
 		}
 	}
 	for range batch {

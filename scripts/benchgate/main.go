@@ -19,6 +19,12 @@
 //	go run ./scripts/benchgate -gate -baseline BENCH_baseline.json \
 //	    -current BENCH_ci.json -max-regress 0.25 -min-speedup 1.5
 //
+// A third gate, -max-overhead, pairs every benchmark ending in "/live" with
+// its "/nop" sibling within the CURRENT run (no baseline needed) and fails
+// when live instrumentation costs more than the allowed fraction — how CI
+// holds the observability layer to ≤5% on the instrumented hot paths
+// (BenchmarkObsOverhead).
+//
 // Refreshing the baseline: benchmark numbers are machine-bound, so the
 // baseline must come from the SAME runner class that gates. The CI bench
 // job uploads BENCH_ci.json with `if: always()` — download the artifact
@@ -67,7 +73,8 @@ func main() {
 		current    = flag.String("current", "BENCH_ci.json", "gate: freshly emitted summary path")
 		maxRegress = flag.Float64("max-regress", 0.25, "gate: fail when ns/op exceeds baseline by more than this fraction")
 		minSpeedup = flag.Float64("min-speedup", 0, "gate: fail when an async variant is not at least this many times faster than its sync sibling (0 disables)")
-		pattern    = flag.String("gate-pattern", `^Benchmark(WALAppend|AsyncJournal|Codec|Broadcast)`, "gate: regexp selecting the benchmarks that block the build")
+		maxOverhd  = flag.Float64("max-overhead", 0, "gate: fail when a /live variant exceeds its /nop sibling by more than this fraction, both from the current run (0 disables)")
+		pattern    = flag.String("gate-pattern", `^Benchmark(WALAppend|AsyncJournal|Codec|Broadcast|Obs)`, "gate: regexp selecting the benchmarks that block the build")
 	)
 	flag.Parse()
 	switch {
@@ -76,7 +83,7 @@ func main() {
 	case *emit:
 		runEmit(*out, flag.Args())
 	default:
-		runGate(*baseline, *current, *pattern, *maxRegress, *minSpeedup)
+		runGate(*baseline, *current, *pattern, *maxRegress, *minSpeedup, *maxOverhd)
 	}
 }
 
@@ -170,7 +177,7 @@ func load(path string) Summary {
 	return sum
 }
 
-func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup float64) {
+func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup, maxOverhead float64) {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		fatal("gate: bad -gate-pattern: %v", err)
@@ -217,6 +224,31 @@ func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup float64) 
 		}
 		if pairs == 0 {
 			failures = append(failures, "no sync/async benchmark pairs found for the -min-speedup check")
+		}
+	}
+
+	if maxOverhead > 0 {
+		// Instrumentation overhead pairs every "/live" benchmark with its
+		// "/nop" sibling — both from the CURRENT run, so the check is
+		// machine-independent and needs no baseline entry to exist first.
+		pairs := 0
+		for name, c := range cur.Benchmarks {
+			if !re.MatchString(name) || !strings.HasSuffix(name, "/live") {
+				continue
+			}
+			nopName := strings.TrimSuffix(name, "/live") + "/nop"
+			n, ok := cur.Benchmarks[nopName]
+			if !ok {
+				continue
+			}
+			pairs++
+			if c.NsPerOp > n.NsPerOp*(1+maxOverhead) {
+				failures = append(failures, fmt.Sprintf("%s: live instrumentation costs %.0f ns/op vs %.0f no-op (+%.1f%% > +%.0f%% allowed)",
+					name, c.NsPerOp, n.NsPerOp, 100*(c.NsPerOp/n.NsPerOp-1), 100*maxOverhead))
+			}
+		}
+		if pairs == 0 {
+			failures = append(failures, "no nop/live benchmark pairs found for the -max-overhead check")
 		}
 	}
 
