@@ -42,7 +42,7 @@ func main() {
 	order := []string{
 		"fig1left", "fig1right", "fig6", "fig7left", "fig7right",
 		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
-		"fig9", "fig10", "statesync", "stages", "summary", "validate",
+		"fig9", "fig10", "exec", "statesync", "stages", "summary", "validate",
 	}
 
 	if *list {
@@ -58,6 +58,13 @@ func main() {
 			t, err := bench.Fig10(bench.DefaultFig10())
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fig10: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(t.Render())
+		case "exec":
+			t, err := bench.Exec()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exec: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Println(t.Render())

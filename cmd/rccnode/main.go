@@ -77,6 +77,7 @@ func main() {
 		stateSyn = flag.Bool("state-sync", true, "with -data-dir: serve checkpoints to lagging peers and, when this replica is behind (wiped disk, long partition), fetch the f+1-attested snapshot + ledger suffix and rejoin at the cluster head")
 		chunkB   = flag.Int("snapshot-chunk-bytes", 0, "state sync: snapshot chunk size served to peers (0 = default 256 KiB)")
 		syncSrc  = flag.Int("state-sync-source", -1, "state sync: preferred transfer source replica ID (-1 = automatic; the fetcher still rotates away on failure)")
+		execWkrs = flag.Int("exec-workers", 0, "parallel execution workers per batch: conflict-free transactions of a unified round fan out across this many goroutines (0 = GOMAXPROCS, 1 = serial)")
 		adminArg = flag.String("admin-addr", "", "admin HTTP listener serving /metrics (Prometheus), /healthz, /readyz, /debug/trace, and /debug/pprof (empty = off)")
 		traceN   = flag.Int("trace-sample", 64, "lifecycle tracer: sample 1 in N transactions into the /debug/trace ring (1 = all, negative = off)")
 		traceBuf = flag.Int("trace-buf", 4096, "lifecycle tracer: ring buffer capacity in events")
@@ -138,23 +139,28 @@ func main() {
 		source = types.ReplicaID(*syncSrc)
 	}
 	rep, err := runtime.New(runtime.Config{
-		ID:                   types.ReplicaID(*id),
-		Params:               params,
-		Machine:              machine,
-		App:                  ycsb.NewStore(*records),
-		Journal:              true,
-		DataDir:              *dataDir,
-		Durability:           durability,
-		AsyncJournal:         *asyncJnl,
-		JournalQueueDepth:    *jnlQueue,
-		JournalMaxBatchBytes: *jnlBatch,
-		SnapshotEvery:        *snapEach,
-		StateSync:            *stateSyn && *dataDir != "",
-		SnapshotChunkBytes:   *chunkB,
-		StateSyncSource:      source,
-		ReplyToClients:       true,
-		Logf:                 log.Printf,
-		Metrics:              metrics,
+		ID:      types.ReplicaID(*id),
+		Params:  params,
+		Machine: machine,
+		App:     ycsb.NewStore(*records),
+		Journal: true,
+		DataDir: *dataDir,
+		Journaling: runtime.JournalOptions{
+			Sync:          durability,
+			Async:         *asyncJnl,
+			QueueDepth:    *jnlQueue,
+			MaxBatchBytes: *jnlBatch,
+			SnapshotEvery: *snapEach,
+		},
+		StateSync: runtime.StateSyncOptions{
+			Enabled:    *stateSyn && *dataDir != "",
+			ChunkBytes: *chunkB,
+			Source:     source,
+		},
+		Exec:           runtime.ExecOptions{Workers: *execWkrs},
+		ReplyToClients: true,
+		Logf:           log.Printf,
+		Metrics:        metrics,
 	})
 	if err != nil {
 		log.Fatalf("rccnode: opening durable state: %v", err)

@@ -71,15 +71,19 @@ func runStateSyncScenario(name string, records, blocks int, snapEvery uint64, wi
 			Machine: pbft.New(pbft.Config{
 				BatchSize: 1, Window: 16, ProgressTimeout: 30 * time.Second,
 			}),
-			App:                  ycsb.NewStore(records),
-			DataDir:              filepath.Join(base, fmt.Sprintf("replica-%d", id)),
-			AsyncJournal:         true,
-			SnapshotEvery:        snapEvery,
-			ReplyToClients:       true,
-			StateSync:            true,
-			StateSyncOfferWait:   100 * time.Millisecond,
-			StateSyncRetry:       200 * time.Millisecond,
-			StateSyncSteadyProbe: 300 * time.Millisecond,
+			App:     ycsb.NewStore(records),
+			DataDir: filepath.Join(base, fmt.Sprintf("replica-%d", id)),
+			Journaling: runtime.JournalOptions{
+				Async:         true,
+				SnapshotEvery: snapEvery,
+			},
+			ReplyToClients: true,
+			StateSync: runtime.StateSyncOptions{
+				Enabled:     true,
+				OfferWait:   100 * time.Millisecond,
+				Retry:       200 * time.Millisecond,
+				SteadyProbe: 300 * time.Millisecond,
+			},
 		})
 		if err != nil {
 			return nil, err

@@ -99,6 +99,10 @@ type Options struct {
 	// behind fetches the f+1-attested snapshot plus ledger suffix from its
 	// peers and rejoins at the cluster head (see runtime.Config.StateSync).
 	StateSync bool
+	// ExecWorkers bounds the conflict-aware parallel execution engine's
+	// per-batch concurrency on every replica (0 = GOMAXPROCS, 1 = the
+	// serial executor; see runtime.Config.Exec).
+	ExecWorkers int
 	// UnpredictableOrdering enables RCC's §IV permutation ordering.
 	UnpredictableOrdering bool
 	// Metrics is the instrument catalog wired through the consensus
@@ -227,21 +231,26 @@ func NewCluster(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		rcfg := runtime.Config{
-			ID:             types.ReplicaID(i),
-			Params:         params,
-			Machine:        m,
-			App:            opts.App(),
-			Journal:        opts.Journal,
-			Durability:     opts.Durability,
-			AsyncJournal:   opts.AsyncJournal,
-			SnapshotEvery:  opts.SnapshotEvery,
+			ID:      types.ReplicaID(i),
+			Params:  params,
+			Machine: m,
+			App:     opts.App(),
+			Journal: opts.Journal,
+			Journaling: runtime.JournalOptions{
+				Sync:          opts.Durability,
+				Async:         opts.AsyncJournal,
+				SnapshotEvery: opts.SnapshotEvery,
+			},
+			Exec:           runtime.ExecOptions{Workers: opts.ExecWorkers},
 			ReplyToClients: true,
 			Metrics:        opts.Metrics,
 		}
 		if opts.DataDir != "" {
 			rcfg.DataDir = ReplicaDir(opts.DataDir, i)
-			rcfg.StateSync = opts.StateSync
-			rcfg.StateSyncSource = types.NoReplica
+			rcfg.StateSync = runtime.StateSyncOptions{
+				Enabled: opts.StateSync,
+				Source:  types.NoReplica,
+			}
 		}
 		rep, err := runtime.New(rcfg)
 		if err != nil {

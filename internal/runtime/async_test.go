@@ -27,15 +27,17 @@ func asyncCluster(t *testing.T, n int, base string, queueDepth int, machine func
 	reps := make([]*Replica, n)
 	for i := 0; i < n; i++ {
 		reps[i], err = New(Config{
-			ID:                types.ReplicaID(i),
-			Params:            params,
-			Machine:           machine(),
-			App:               ycsb.NewStore(1000),
-			DataDir:           filepath.Join(base, "replica-"+string(rune('0'+i))),
-			Durability:        wal.SyncGroup,
-			AsyncJournal:      true,
-			JournalQueueDepth: queueDepth,
-			ReplyToClients:    true,
+			ID:      types.ReplicaID(i),
+			Params:  params,
+			Machine: machine(),
+			App:     ycsb.NewStore(1000),
+			DataDir: filepath.Join(base, "replica-"+string(rune('0'+i))),
+			Journaling: JournalOptions{
+				Sync:       wal.SyncGroup,
+				Async:      true,
+				QueueDepth: queueDepth,
+			},
+			ReplyToClients: true,
 		})
 		if err != nil {
 			t.Fatalf("replica %d: %v", i, err)

@@ -26,13 +26,15 @@ func durableCluster(t *testing.T, n int, base string, snapEvery uint64, machine 
 	reps := make([]*Replica, n)
 	for i := 0; i < n; i++ {
 		reps[i], err = New(Config{
-			ID:             types.ReplicaID(i),
-			Params:         params,
-			Machine:        machine(),
-			App:            ycsb.NewStore(1000),
-			DataDir:        filepath.Join(base, "replica-"+string(rune('0'+i))),
-			Durability:     wal.SyncGroup,
-			SnapshotEvery:  snapEvery,
+			ID:      types.ReplicaID(i),
+			Params:  params,
+			Machine: machine(),
+			App:     ycsb.NewStore(1000),
+			DataDir: filepath.Join(base, "replica-"+string(rune('0'+i))),
+			Journaling: JournalOptions{
+				Sync:          wal.SyncGroup,
+				SnapshotEvery: snapEvery,
+			},
 			ReplyToClients: true,
 		})
 		if err != nil {

@@ -27,7 +27,75 @@ import (
 	"repro/internal/wal"
 )
 
+// JournalOptions groups the durability tunables that apply when
+// Config.DataDir is set.
+type JournalOptions struct {
+	// Sync selects the WAL sync policy (default group commit).
+	Sync wal.SyncPolicy
+	// Async pipelines durability: executed blocks are handed to a
+	// background committer without stalling the event loop on fsync,
+	// many blocks share each commit point, and client replies for a
+	// block are deferred until its WAL record is reported durable — so
+	// an acknowledged transaction can never be lost to a crash, while
+	// the fsync cost amortizes across in-flight blocks
+	// (BenchmarkAsyncJournal). When the in-flight queue (QueueDepth)
+	// fills, execution back-pressures by blocking the event loop until
+	// the disk catches up. Combine with SyncGroup (the default): under
+	// SyncAlways the committer still batches — use sync mode when a
+	// per-block fsync is the point — and under SyncNone completions mean
+	// flushed, not fsynced.
+	Async bool
+	// QueueDepth bounds blocks executed but not yet durable in async
+	// mode (default wal.DefaultQueueDepth).
+	QueueDepth int
+	// MaxBatchBytes caps the WAL bytes one fsync covers in async mode
+	// (default wal.DefaultMaxBatchBytes).
+	MaxBatchBytes int64
+	// SnapshotEvery persists an application checkpoint every N decided
+	// blocks when App implements store.Snapshotter (0 disables periodic
+	// checkpoints; RCC's dynamic checkpoints still persist on demand).
+	SnapshotEvery uint64
+}
+
+// StateSyncOptions groups the checkpoint-based state-transfer tunables.
+type StateSyncOptions struct {
+	// Enabled arms the subsystem (requires Config.DataDir and a Machine
+	// implementing sm.StateSyncable): the replica serves its snapshots
+	// and ledger to lagging peers, and when it is itself behind — wiped,
+	// corrupted, or partitioned past what checkpoint catch-up bridges —
+	// it fetches the f+1-attested snapshot plus ledger suffix from
+	// peers, installs it crash-atomically, and rejoins consensus at the
+	// cluster head.
+	Enabled bool
+	// ChunkBytes bounds each served snapshot chunk (default 256 KiB).
+	ChunkBytes int
+	// Source is the preferred transfer source; types.NoReplica (or any
+	// ID outside the attesting set) falls back to automatic selection,
+	// and the fetcher still rotates away on failure.
+	Source types.ReplicaID
+	// OfferWait / Retry / SteadyProbe tune the manager's probe gathering
+	// window, failed-pass retry interval, and the steady-state re-probe
+	// period (defaults in internal/statesync; tests shrink them).
+	OfferWait   time.Duration
+	Retry       time.Duration
+	SteadyProbe time.Duration
+}
+
+// ExecOptions groups the execution-engine tunables.
+type ExecOptions struct {
+	// Workers bounds the conflict-aware executor's concurrency per batch
+	// (0 = GOMAXPROCS, 1 = serial; see exec.Options.Workers).
+	Workers int
+	// MinParallel is the smallest batch worth fanning out (0 = the
+	// exec.DefaultMinParallel).
+	MinParallel int
+}
+
 // Config parameterizes one replica process.
+//
+// Subsystem tunables are grouped: the flat Durability / AsyncJournal /
+// JournalQueueDepth / JournalMaxBatchBytes / SnapshotEvery knobs moved
+// into Journaling, and StateSync* into the StateSync group (see doc.go).
 type Config struct {
 	// ID is the local replica.
 	ID types.ReplicaID
@@ -47,55 +115,12 @@ type Config struct {
 	// resumes at its pre-crash height with an identical head hash and
 	// state digest instead of demanding state transfer from peers.
 	DataDir string
-	// Durability selects the WAL sync policy when DataDir is set
-	// (default group commit).
-	Durability wal.SyncPolicy
-	// AsyncJournal pipelines durability when DataDir is set: executed
-	// blocks are handed to a background committer without stalling the
-	// event loop on fsync, many blocks share each commit point, and
-	// client replies for a block are deferred until its WAL record is
-	// reported durable — so an acknowledged transaction can never be
-	// lost to a crash, while the fsync cost amortizes across in-flight
-	// blocks (BenchmarkAsyncJournal). When the in-flight queue
-	// (JournalQueueDepth) fills, execution back-pressures by blocking
-	// the event loop until the disk catches up. Combine with SyncGroup
-	// (the default): under SyncAlways the committer still batches —
-	// use sync mode when a per-block fsync is the point — and under
-	// SyncNone completions mean flushed, not fsynced.
-	AsyncJournal bool
-	// JournalQueueDepth bounds blocks executed but not yet durable in
-	// async mode (default wal.DefaultQueueDepth).
-	JournalQueueDepth int
-	// JournalMaxBatchBytes caps the WAL bytes one fsync covers in async
-	// mode (default wal.DefaultMaxBatchBytes).
-	JournalMaxBatchBytes int64
-	// SnapshotEvery persists an application checkpoint every N decided
-	// blocks when DataDir is set and App implements store.Snapshotter
-	// (0 disables periodic checkpoints; RCC's dynamic checkpoints still
-	// persist on demand).
-	SnapshotEvery uint64
-	// StateSync enables the checkpoint-based state-transfer subsystem
-	// (requires DataDir and a Machine implementing sm.StateSyncable): the
-	// replica serves its snapshots and ledger to lagging peers, and when
-	// it is itself behind — wiped, corrupted, or partitioned past what
-	// checkpoint catch-up bridges — it fetches the f+1-attested snapshot
-	// plus ledger suffix from peers, installs it crash-atomically, and
-	// rejoins consensus at the cluster head.
-	StateSync bool
-	// SnapshotChunkBytes bounds each served snapshot chunk (default
-	// 256 KiB).
-	SnapshotChunkBytes int
-	// StateSyncSource is the preferred transfer source; types.NoReplica
-	// (or any ID outside the attesting set) falls back to automatic
-	// selection, and the fetcher still rotates away on failure.
-	StateSyncSource types.ReplicaID
-	// StateSyncOfferWait / StateSyncRetry / StateSyncSteadyProbe tune the
-	// manager's probe gathering window, failed-pass retry interval, and
-	// the steady-state re-probe period (defaults in internal/statesync;
-	// tests shrink them).
-	StateSyncOfferWait   time.Duration
-	StateSyncRetry       time.Duration
-	StateSyncSteadyProbe time.Duration
+	// Journaling tunes durability when DataDir is set.
+	Journaling JournalOptions
+	// StateSync configures the state-transfer subsystem.
+	StateSync StateSyncOptions
+	// Exec tunes the conflict-aware parallel execution engine.
+	Exec ExecOptions
 	// QueueDepth bounds the inbound event queue (default 4096).
 	QueueDepth int
 	// ReplyToClients answers the clients of executed batches.
@@ -170,10 +195,10 @@ func New(cfg Config) (*Replica, error) {
 			onCommit = func(_ int, _ int64, took time.Duration) { fsync.Observe(took) }
 		}
 		dl, err := store.Open(cfg.DataDir, store.Options{
-			Sync:               cfg.Durability,
-			Async:              cfg.AsyncJournal,
-			AsyncQueueDepth:    cfg.JournalQueueDepth,
-			AsyncMaxBatchBytes: cfg.JournalMaxBatchBytes,
+			Sync:               cfg.Journaling.Sync,
+			Async:              cfg.Journaling.Async,
+			AsyncQueueDepth:    cfg.Journaling.QueueDepth,
+			AsyncMaxBatchBytes: cfg.Journaling.MaxBatchBytes,
 			AsyncOnCommit:      onCommit,
 			Identity:           fmt.Sprintf("replica-%d", cfg.ID),
 		})
@@ -188,7 +213,9 @@ func New(cfg Config) (*Replica, error) {
 		r.durable = dl
 		r.log = dl.Memory()
 		journal = durableJournal{r}
-		r.engine = exec.NewEngine(cfg.App, journal)
+		r.engine = exec.NewEngineOpts(cfg.App, journal, exec.Options{
+			Workers: cfg.Exec.Workers, MinParallel: cfg.Exec.MinParallel,
+		})
 		r.engine.SetMetrics(cfg.Metrics)
 		r.engine.Restore(txns)
 		r.initStateSync()
@@ -200,7 +227,9 @@ func New(cfg Config) (*Replica, error) {
 		r.log = l
 		journal = l
 	}
-	r.engine = exec.NewEngine(cfg.App, journal)
+	r.engine = exec.NewEngineOpts(cfg.App, journal, exec.Options{
+		Workers: cfg.Exec.Workers, MinParallel: cfg.Exec.MinParallel,
+	})
 	r.engine.SetMetrics(cfg.Metrics)
 	r.registerMetrics()
 	return r, nil
@@ -267,7 +296,7 @@ func (r *Replica) logf(format string, args ...any) {
 // configured and the machine supports it. The manager's goroutines start in
 // Run (after the transport is attached).
 func (r *Replica) initStateSync() {
-	if !r.cfg.StateSync {
+	if !r.cfg.StateSync.Enabled {
 		return
 	}
 	if _, ok := r.cfg.Machine.(sm.StateSyncable); !ok {
@@ -278,11 +307,11 @@ func (r *Replica) initStateSync() {
 		Self:          r.cfg.ID,
 		N:             r.cfg.Params.N,
 		Attest:        r.cfg.Params.FaultDetection(),
-		ChunkBytes:    r.cfg.SnapshotChunkBytes,
-		OfferWait:     r.cfg.StateSyncOfferWait,
-		RetryInterval: r.cfg.StateSyncRetry,
-		SteadyProbe:   r.cfg.StateSyncSteadyProbe,
-		Source:        r.cfg.StateSyncSource,
+		ChunkBytes:    r.cfg.StateSync.ChunkBytes,
+		OfferWait:     r.cfg.StateSync.OfferWait,
+		RetryInterval: r.cfg.StateSync.Retry,
+		SteadyProbe:   r.cfg.StateSync.SteadyProbe,
+		Source:        r.cfg.StateSync.Source,
 	}, statesync.Host{
 		Send: func(to types.ReplicaID, m types.Message) {
 			if r.trans != nil {
@@ -614,6 +643,9 @@ func (r *Replica) Stop() {
 		r.timers.Unlock()
 	})
 	r.wg.Wait()
+	// The event loop has exited, so no batch is in flight: the execution
+	// engine's worker pool can wind down.
+	r.engine.Close()
 	// The state-transfer manager stops before the store closes: an
 	// in-flight transfer aborts (installs are atomic, nothing partial
 	// remains) and no serve request can touch a closing store.
@@ -691,7 +723,7 @@ func (e *replicaEnv) SendClient(c types.ClientID, m types.Message) {
 }
 
 // Deliver executes the decision's batch in order, journals it, and answers
-// the clients. With Config.AsyncJournal the journal append is pipelined:
+// the clients. With Config.Journaling.Async the journal append is pipelined:
 // execution returns immediately and the client replies wait for the block's
 // WAL record to be reported durable (per-height ack deferral), so no client
 // ever holds an acknowledgement the disk does not.
@@ -715,7 +747,7 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 		delivAt = time.Now()
 	}
 	var res exec.Result
-	if r.cfg.AsyncJournal && r.durable != nil {
+	if r.cfg.Journaling.Async && r.durable != nil {
 		// The callback runs on the WAL committer goroutine; d and the
 		// completion Result are read-only there, and the transports are
 		// safe for concurrent use. SendClient is enqueue-only (bounded
@@ -746,11 +778,11 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 	if met.Tracing() {
 		traceBatch(met, d.Batch, obs.PointExecute)
 	}
-	if r.cfg.SnapshotEvery > 0 && res.Block != nil &&
-		(res.Block.Height+1)%r.cfg.SnapshotEvery == 0 {
+	if r.cfg.Journaling.SnapshotEvery > 0 && res.Block != nil &&
+		(res.Block.Height+1)%r.cfg.Journaling.SnapshotEvery == 0 {
 		r.saveSnapshot()
 	}
-	if r.cfg.AsyncJournal && r.durable != nil {
+	if r.cfg.Journaling.Async && r.durable != nil {
 		return // replies ride on the durability callback
 	}
 	e.ackClients(d, res)

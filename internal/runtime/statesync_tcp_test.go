@@ -30,15 +30,19 @@ func syncReplica(t *testing.T, base string, id types.ReplicaID, params quorum.Pa
 			// failure detection is not under test here.
 			ProgressTimeout: 20 * time.Second,
 		}),
-		App:                  ycsb.NewStore(1000),
-		DataDir:              filepath.Join(base, fmt.Sprintf("replica-%d", id)),
-		AsyncJournal:         true,
-		SnapshotEvery:        snapshotEvery,
-		ReplyToClients:       true,
-		StateSync:            true,
-		StateSyncOfferWait:   150 * time.Millisecond,
-		StateSyncRetry:       300 * time.Millisecond,
-		StateSyncSteadyProbe: 500 * time.Millisecond,
+		App:     ycsb.NewStore(1000),
+		DataDir: filepath.Join(base, fmt.Sprintf("replica-%d", id)),
+		Journaling: JournalOptions{
+			Async:         true,
+			SnapshotEvery: snapshotEvery,
+		},
+		ReplyToClients: true,
+		StateSync: StateSyncOptions{
+			Enabled:     true,
+			OfferWait:   150 * time.Millisecond,
+			Retry:       300 * time.Millisecond,
+			SteadyProbe: 500 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		t.Fatalf("replica %d: %v", id, err)

@@ -88,7 +88,10 @@ type Env interface {
 	// SendClient transmits m to a client.
 	SendClient(c types.ClientID, m types.Message)
 
-	// Deliver reports a decision ready for ordering/execution.
+	// Deliver reports a decision ready for ordering/execution. Decisions
+	// are delivered in the unified order; how the runtime executes each
+	// batch (serially or on internal/exec's conflict-aware worker pool)
+	// is invisible here — execution is deterministic either way.
 	Deliver(d Decision)
 
 	// SetTimer arms (or re-arms) timer id to fire after d.

@@ -112,7 +112,7 @@
 //     close for tests — no flush, no fsync, no callbacks.
 //
 // The replica runtime defers client replies to these callbacks
-// (runtime.Config.AsyncJournal): a client acknowledgement then implies the
+// (runtime.Config.Journaling.Async): a client acknowledgement then implies the
 // block is on disk, while the event loop never waits out an fsync.
 // BenchmarkAsyncJournal compares the two shapes; records/fsync reports the
 // amortization the pipeline recovers.

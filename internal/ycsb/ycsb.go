@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -51,23 +52,28 @@ func DecodeOp(op []byte) (code byte, key uint32, value []byte, err error) {
 }
 
 // Store is the YCSB table: a deterministic key/value application.
-// It implements exec.Application. Not safe for concurrent use; the
-// execution engine serializes access.
+// It implements exec.Application. Each transaction touches exactly one
+// record — its conflict StateKey is the record index — so transactions on
+// distinct records commute: concurrent Execute calls write disjoint slice
+// slots and the operation counters/state accumulator are atomic (wrapping
+// adds commute, so the totals are schedule-independent).
 type Store struct {
 	records  []uint64 // fingerprint of the value for each key (compact state)
-	writes   uint64
-	reads    uint64
-	stateSum uint64 // rolling state accumulator for cheap digests
+	writes   atomic.Uint64
+	reads    atomic.Uint64
+	stateSum atomic.Uint64 // rolling state accumulator for cheap digests
 }
 
 // NewStore initializes a table with n records. All replicas call this with
 // the same n and obtain identical state.
 func NewStore(n int) *Store {
 	s := &Store{records: make([]uint64, n)}
+	var sum uint64
 	for i := range s.records {
 		s.records[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
-		s.stateSum += s.records[i]
+		sum += s.records[i]
 	}
+	s.stateSum.Store(sum)
 	return s
 }
 
@@ -75,10 +81,26 @@ func NewStore(n int) *Store {
 func (s *Store) Len() int { return len(s.records) }
 
 // Reads and Writes report operation counts (for tests and stats).
-func (s *Store) Reads() uint64  { return s.reads }
-func (s *Store) Writes() uint64 { return s.writes }
+func (s *Store) Reads() uint64  { return s.reads.Load() }
+func (s *Store) Writes() uint64 { return s.writes.Load() }
 
-// Execute applies one YCSB transaction deterministically.
+// Keys declares a transaction's conflict footprint: the single record it
+// reads or writes (reads conflict with writes to the same record — the
+// read result depends on order). Malformed and unknown-opcode payloads
+// execute statelessly (result 0xff), so they declare an empty footprint.
+func (s *Store) Keys(tx types.Transaction, buf []types.StateKey) ([]types.StateKey, bool) {
+	if tx.IsNoOp() {
+		return buf, true
+	}
+	code, key, _, err := DecodeOp(tx.Op)
+	if err != nil || len(s.records) == 0 || (code != OpRead && code != OpWrite) {
+		return buf, true // stateless rejection: conflicts with nothing
+	}
+	return append(buf, types.StateKey(int(key)%len(s.records))), true
+}
+
+// Execute applies one YCSB transaction deterministically. Concurrent calls
+// are safe for transactions on distinct records.
 func (s *Store) Execute(tx types.Transaction) []byte {
 	if tx.IsNoOp() {
 		return nil
@@ -90,16 +112,16 @@ func (s *Store) Execute(tx types.Transaction) []byte {
 	idx := int(key) % len(s.records)
 	switch code {
 	case OpRead:
-		s.reads++
+		s.reads.Add(1)
 		out := make([]byte, 8)
 		binary.BigEndian.PutUint64(out, s.records[idx])
 		return out
 	case OpWrite:
-		s.writes++
+		s.writes.Add(1)
 		old := s.records[idx]
 		fp := fingerprint(value)
 		s.records[idx] = fp
-		s.stateSum += fp - old
+		s.stateSum.Add(fp - old)
 		return []byte{1}
 	default:
 		return []byte{0xff}
@@ -112,8 +134,8 @@ func (s *Store) Execute(tx types.Transaction) []byte {
 // probability in tests.
 func (s *Store) StateDigest() types.Digest {
 	buf := make([]byte, 0, 8*18)
-	buf = binary.BigEndian.AppendUint64(buf, s.stateSum)
-	buf = binary.BigEndian.AppendUint64(buf, s.writes)
+	buf = binary.BigEndian.AppendUint64(buf, s.stateSum.Load())
+	buf = binary.BigEndian.AppendUint64(buf, s.writes.Load())
 	if n := len(s.records); n > 0 {
 		for i := 0; i < 16; i++ {
 			buf = binary.BigEndian.AppendUint64(buf, s.records[(i*2654435761)%n])
@@ -131,8 +153,8 @@ func (s *Store) Snapshot() []byte {
 	for _, r := range s.records {
 		buf = binary.BigEndian.AppendUint64(buf, r)
 	}
-	buf = binary.BigEndian.AppendUint64(buf, s.writes)
-	return binary.BigEndian.AppendUint64(buf, s.reads)
+	buf = binary.BigEndian.AppendUint64(buf, s.writes.Load())
+	return binary.BigEndian.AppendUint64(buf, s.reads.Load())
 }
 
 // Restore replaces the table with a Snapshot image (store.Snapshotter).
@@ -153,9 +175,9 @@ func (s *Store) Restore(data []byte) error {
 		data = data[8:]
 	}
 	s.records = records
-	s.stateSum = sum
-	s.writes = binary.BigEndian.Uint64(data)
-	s.reads = binary.BigEndian.Uint64(data[8:])
+	s.stateSum.Store(sum)
+	s.writes.Store(binary.BigEndian.Uint64(data))
+	s.reads.Store(binary.BigEndian.Uint64(data[8:]))
 	return nil
 }
 

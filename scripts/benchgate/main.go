@@ -25,6 +25,12 @@
 // holds the observability layer to ≤5% on the instrumented hot paths
 // (BenchmarkObsOverhead).
 //
+// A fourth gate, -min-parallel-speedup, pairs every benchmark ending in
+// "/parallel" with its "/serial" sibling within the CURRENT run and fails
+// when the parallel variant is not at least that many times faster — how CI
+// holds the conflict-aware execution engine to its >=2x floor on the
+// conflict-free workload (BenchmarkParallelExec) on multicore runners.
+//
 // Refreshing the baseline: benchmark numbers are machine-bound, so the
 // baseline must come from the SAME runner class that gates. The CI bench
 // job uploads BENCH_ci.json with `if: always()` — download the artifact
@@ -74,7 +80,8 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 0.25, "gate: fail when ns/op exceeds baseline by more than this fraction")
 		minSpeedup = flag.Float64("min-speedup", 0, "gate: fail when an async variant is not at least this many times faster than its sync sibling (0 disables)")
 		maxOverhd  = flag.Float64("max-overhead", 0, "gate: fail when a /live variant exceeds its /nop sibling by more than this fraction, both from the current run (0 disables)")
-		pattern    = flag.String("gate-pattern", `^Benchmark(WALAppend|AsyncJournal|Codec|Broadcast|Obs)`, "gate: regexp selecting the benchmarks that block the build")
+		minParSpd  = flag.Float64("min-parallel-speedup", 0, "gate: fail when a /parallel variant is not at least this many times faster than its /serial sibling, both from the current run (0 disables)")
+		pattern    = flag.String("gate-pattern", `^Benchmark(WALAppend|AsyncJournal|Codec|Broadcast|Obs|ParallelExec)`, "gate: regexp selecting the benchmarks that block the build")
 	)
 	flag.Parse()
 	switch {
@@ -83,7 +90,7 @@ func main() {
 	case *emit:
 		runEmit(*out, flag.Args())
 	default:
-		runGate(*baseline, *current, *pattern, *maxRegress, *minSpeedup, *maxOverhd)
+		runGate(*baseline, *current, *pattern, *maxRegress, *minSpeedup, *maxOverhd, *minParSpd)
 	}
 }
 
@@ -177,7 +184,7 @@ func load(path string) Summary {
 	return sum
 }
 
-func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup, maxOverhead float64) {
+func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup, maxOverhead, minParallelSpeedup float64) {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		fatal("gate: bad -gate-pattern: %v", err)
@@ -249,6 +256,32 @@ func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup, maxOverh
 		}
 		if pairs == 0 {
 			failures = append(failures, "no nop/live benchmark pairs found for the -max-overhead check")
+		}
+	}
+
+	if minParallelSpeedup > 0 {
+		// Parallel-execution floor: every "/parallel" benchmark against its
+		// "/serial" sibling, both from the CURRENT run, so the check holds
+		// on whatever core count the runner has (the benchmark itself only
+		// pairs the names on its conflict-free workload).
+		pairs := 0
+		for name, c := range cur.Benchmarks {
+			if !re.MatchString(name) || !strings.HasSuffix(name, "/parallel") {
+				continue
+			}
+			serialName := strings.TrimSuffix(name, "/parallel") + "/serial"
+			s, ok := cur.Benchmarks[serialName]
+			if !ok {
+				continue
+			}
+			pairs++
+			if speedup := s.NsPerOp / c.NsPerOp; speedup < minParallelSpeedup {
+				failures = append(failures, fmt.Sprintf("%s: parallel is only %.2fx serial (%.0f vs %.0f ns/op), want >= %.1fx",
+					name, speedup, c.NsPerOp, s.NsPerOp, minParallelSpeedup))
+			}
+		}
+		if pairs == 0 {
+			failures = append(failures, "no serial/parallel benchmark pairs found for the -min-parallel-speedup check")
 		}
 	}
 
