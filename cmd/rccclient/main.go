@@ -38,6 +38,25 @@ func parsePeers(s string) (map[types.ReplicaID]string, error) {
 	return peers, nil
 }
 
+// buildAuth resolves the -auth / -auth-secret flags (with -mac-secret as a
+// backward-compatible alias implying mac) into an authenticator.
+func buildAuth(schemeArg, secret, macSecret string, party uint32) (crypto.Authenticator, error) {
+	if schemeArg == "" && macSecret != "" {
+		schemeArg = "mac"
+	}
+	if secret == "" {
+		secret = macSecret
+	}
+	scheme, err := crypto.ParseScheme(schemeArg)
+	if err != nil {
+		return nil, err
+	}
+	if scheme == crypto.SchemeNone {
+		return nil, nil
+	}
+	return crypto.NewAuth(scheme, party, []byte(secret))
+}
+
 func main() {
 	var (
 		id       = flag.Uint("id", 1, "client ID (>= 1)")
@@ -46,7 +65,9 @@ func main() {
 		txns     = flag.Int("txns", 100, "transactions to execute")
 		window   = flag.Int("window", 8, "client pipeline depth")
 		zyz      = flag.Bool("zyzzyva", false, "collect all-n speculative responses (Zyzzyva deployments)")
-		macKey   = flag.String("mac-secret", "", "shared MAC secret (must match the nodes)")
+		authArg  = flag.String("auth", "", "frame authentication scheme: none, mac, ds (must match the nodes); default none, or mac when -mac-secret is set")
+		authKey  = flag.String("auth-secret", "", "shared deployment secret (must match the nodes)")
+		macKey   = flag.String("mac-secret", "", "shared MAC secret (deprecated alias for -auth mac -auth-secret)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "overall deadline")
 		sendQ    = flag.Int("send-queue", 0, "per-replica outbound queue depth (0 = default 4096)")
 		sendB    = flag.Int("send-batch-bytes", 0, "max encoded bytes coalesced per write syscall (0 = default 128 KiB)")
@@ -89,9 +110,9 @@ func main() {
 	})
 
 	proc := runtime.NewClient(cid, params, mach)
-	var auth crypto.Authenticator
-	if *macKey != "" {
-		auth = crypto.NewMAC(crypto.ClientPartyID(cid), []byte(*macKey))
+	auth, err := buildAuth(*authArg, *authKey, *macKey, crypto.ClientPartyID(cid))
+	if err != nil {
+		log.Fatalf("rccclient: %v", err)
 	}
 	tcp, err := transport.NewTCP(transport.TCPConfig{
 		IsClient:      true,

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/crypto/digestcache"
 	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/runtime"
@@ -53,6 +54,25 @@ func parsePeers(s string) (map[types.ReplicaID]string, error) {
 	return peers, nil
 }
 
+// buildAuth resolves the -auth / -auth-secret flags (with -mac-secret as a
+// backward-compatible alias implying mac) into an authenticator.
+func buildAuth(schemeArg, secret, macSecret string, party uint32) (crypto.Authenticator, error) {
+	if schemeArg == "" && macSecret != "" {
+		schemeArg = "mac"
+	}
+	if secret == "" {
+		secret = macSecret
+	}
+	scheme, err := crypto.ParseScheme(schemeArg)
+	if err != nil {
+		return nil, err
+	}
+	if scheme == crypto.SchemeNone {
+		return nil, nil
+	}
+	return crypto.NewAuth(scheme, party, []byte(secret))
+}
+
 func main() {
 	var (
 		id       = flag.Int("id", 0, "replica ID (0..n-1)")
@@ -63,7 +83,11 @@ func main() {
 		batch    = flag.Int("batch", 100, "transactions per proposal")
 		window   = flag.Int("window", 4, "out-of-order proposal window")
 		records  = flag.Int("records", ycsb.DefaultRecords, "YCSB table records")
-		macKey   = flag.String("mac-secret", "", "shared MAC secret (enables HMAC frame authentication)")
+		authArg  = flag.String("auth", "", "frame authentication scheme: none, mac (pairwise HMAC), ds (ED25519 dev keyring); default none, or mac when -mac-secret is set")
+		authKey  = flag.String("auth-secret", "", "shared deployment secret: MAC pair keys or the ds dev-keyring seed derive from it")
+		macKey   = flag.String("mac-secret", "", "shared MAC secret (deprecated alias for -auth mac -auth-secret)")
+		verifyW  = flag.Int("verify-workers", 0, "inbound verification worker pool size (0 = scheme default: pooled for ds, inline for mac; negative = force inline)")
+		digCache = flag.Int("digest-cache", 0, "verified client-request digest cache entries, shared across instances (0 off)")
 		statsSec = flag.Int("stats", 10, "stats print interval in seconds (0 off)")
 		dataDir  = flag.String("data-dir", "", "durable storage directory: journal decided blocks through a WAL and resume from it on restart")
 		syncMode = flag.String("sync", "group", "WAL durability with -data-dir: group (batched fsync), always (fsync per block), none")
@@ -174,11 +198,11 @@ func main() {
 		}
 	}
 
-	var auth crypto.Authenticator
-	if *macKey != "" {
-		auth = crypto.NewMAC(crypto.PartyID(types.ReplicaID(*id)), []byte(*macKey))
+	auth, err := buildAuth(*authArg, *authKey, *macKey, crypto.PartyID(types.ReplicaID(*id)))
+	if err != nil {
+		log.Fatalf("rccnode: %v", err)
 	}
-	tcp, err := transport.NewTCP(transport.TCPConfig{
+	tcpCfg := transport.TCPConfig{
 		Self:             types.ReplicaID(*id),
 		Listen:           *listen,
 		Peers:            peers,
@@ -186,7 +210,15 @@ func main() {
 		QueueDepth:       *sendQ,
 		ClientQueueDepth: *clientQ,
 		MaxBatchBytes:    *sendB,
-	}, rep)
+		VerifyWorkers:    *verifyW,
+	}
+	if *digCache > 0 {
+		tcpCfg.DigestCache = digestcache.New(*digCache)
+	}
+	if metrics != nil {
+		tcpCfg.VerifyObserve = func(d time.Duration) { metrics.ObserveStage(obs.StageVerify, d) }
+	}
+	tcp, err := transport.NewTCP(tcpCfg, rep)
 	if err != nil {
 		log.Fatalf("rccnode: %v", err)
 	}

@@ -105,8 +105,30 @@
 // executor's worker count lives in Exec (runtime.ExecOptions).
 // core.Options and the rccnode flags are unchanged.
 //
+// Frame authentication at line rate: internal/crypto implements the
+// paper's Fig. 7-right schemes as production hot paths. NewMAC precomputes
+// pairwise HMAC keys and pools HMAC state (Tag+Verify is one pool hit, one
+// allocation — CI holds it >= 5x the derive-per-call path via
+// scripts/benchgate -min-cached-speedup). NewDSDev derives a deterministic
+// ED25519 dev keyring from one shared secret, so rccnode/rccclient key a
+// whole cluster with -auth none|mac|ds plus -auth-secret (production keys
+// plug into NewDS/KeyRing). With signatures, inbound verification runs on
+// a bounded worker pool in internal/transport (-verify-workers) that
+// batch-verifies each frame's records through one BatchVerifier (bisection
+// isolates forged records) while preserving exact per-link delivery order;
+// a sharded cache of verified client-request digests (-digest-cache,
+// internal/crypto/digestcache) lets any of RCC's m concurrent instances
+// skip re-verifying a retransmitted request another instance already
+// checked, and links exceeding consecutive bad tags are demoted
+// (reconnect, counted). The verify stage reports into
+// rcc_stage_latency_seconds{stage="verify"}; rccbench -exp crypto measures
+// the live none/mac/ds cost on a real loopback cluster, and a determinism
+// test pins byte-identical ResultHash/StateDigest across verify-worker
+// counts. See the README's "Authentication" section.
+//
 // Observability: internal/obs instruments the full request path —
-// per-stage latency histograms (consensus, unify, execute, journal, ack),
+// per-stage latency histograms (verify, consensus, unify, execute,
+// journal, ack),
 // consensus/WAL/transport/statesync counters, and a deterministic 1-in-N
 // transaction lifecycle tracer — behind a dependency-free, allocation-free
 // metrics registry whose overhead CI gates at ≤5% of the instrumented hot
@@ -125,6 +147,7 @@
 // observability/execution pass), emits BENCH_ci.json, and gates merges on
 // >25% ns/op regressions against the committed BENCH_baseline.json via
 // scripts/benchgate, which also enforces the observability overhead
-// ceiling (-max-overhead) and the parallel-execution speedup floor
-// (-min-parallel-speedup).
+// ceiling (-max-overhead), the parallel-execution speedup floor
+// (-min-parallel-speedup), and the authentication floors
+// (-min-cached-speedup, -min-pooled-speedup).
 package repro

@@ -13,9 +13,14 @@ import "time"
 type Stage uint8
 
 const (
+	// StageVerify: inbound frame staged for authentication → every record
+	// verified by the transport's verify pool (transport). Only populated
+	// with authentication enabled and pooled verification active; spans
+	// pool queueing plus the MAC/signature checks themselves.
+	StageVerify Stage = iota
 	// StageConsensus: proposal first seen (pre-prepare) → round decided
 	// and delivered by its BCA instance (pbft).
-	StageConsensus Stage = iota
+	StageConsensus
 	// StageUnify: instance decision received → delivered in the unified
 	// cross-instance execution order (rcc).
 	StageUnify
@@ -30,7 +35,7 @@ const (
 	numStages
 )
 
-var stageNames = [numStages]string{"consensus", "unify", "execute", "journal", "ack"}
+var stageNames = [numStages]string{"verify", "consensus", "unify", "execute", "journal", "ack"}
 
 func (s Stage) String() string {
 	if int(s) < len(stageNames) {
@@ -91,7 +96,7 @@ func NewNodeMetrics(reg *Registry, traceSize, traceSample int) *NodeMetrics {
 	if traceSample >= 0 {
 		m.Tracer = NewTracer(traceSize, traceSample)
 	}
-	const stageHelp = "per-stage transaction latency: consensus (proposal seen to decided), unify (decided to unified order), execute (state machine apply), journal (submit to durable), ack (delivered to replies enqueued)"
+	const stageHelp = "per-stage transaction latency: verify (frame staged to authenticated), consensus (proposal seen to decided), unify (decided to unified order), execute (state machine apply), journal (submit to durable), ack (delivered to replies enqueued)"
 	for s := Stage(0); s < numStages; s++ {
 		m.stages[s] = reg.Histogram("rcc_stage_latency_seconds", `stage="`+s.String()+`"`, stageHelp)
 	}

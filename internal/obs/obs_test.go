@@ -233,7 +233,7 @@ func mustPanic(t *testing.T, name string, f func()) {
 }
 
 func TestStageNames(t *testing.T) {
-	want := []string{"consensus", "unify", "execute", "journal", "ack"}
+	want := []string{"verify", "consensus", "unify", "execute", "journal", "ack"}
 	stages := Stages()
 	if len(stages) != len(want) {
 		t.Fatalf("%d stages, want %d", len(stages), len(want))

@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/quorum"
+	"repro/internal/rcc"
+	"repro/internal/sm"
+	"repro/internal/types"
+	"repro/internal/ycsb"
+)
+
+// TestAuthMACOverTCP runs the full RCC stack over loopback TCP with
+// pairwise MACs on every link, replicas and clients both — the `-auth mac`
+// stack of cmd/rccnode.
+func TestAuthMACOverTCP(t *testing.T) {
+	params, _ := quorum.NewParams(4)
+	peers, reps := tcpClusterWith(t, 4, macOpts("auth-mac-smoke"), func() sm.Machine {
+		return rcc.New(rcc.Config{BatchSize: 1, Window: 4})
+	})
+	c := tcpClient(t, peers, params, 1, "auth-mac-smoke", 4)
+	waitFor(t, 30*time.Second, func() bool { return len(c.Completions()) == 4 })
+	assertLedgersAgree(t, reps)
+}
+
+// TestAuthDSOverTCP runs the same stack under ED25519 dev-keyring
+// signatures with the verify pool and the verified-digest cache active —
+// the `-auth ds` stack, i.e. the authenticated configuration of Fig. 7
+// (right) measured live.
+func TestAuthDSOverTCP(t *testing.T) {
+	opts := dsOpts("auth-ds-smoke")
+	opts.cacheEntries = 4096
+	params, _ := quorum.NewParams(4)
+	peers, reps := tcpClusterWith(t, 4, opts, func() sm.Machine {
+		return rcc.New(rcc.Config{BatchSize: 1, Window: 4})
+	})
+	c1 := tcpClientWith(t, peers, params, 1, opts, disjointWrites(1, 100, 4))
+	c2 := tcpClientWith(t, peers, params, 2, opts, disjointWrites(2, 200, 4))
+	waitFor(t, 30*time.Second, func() bool {
+		return len(c1.Completions()) == 4 && len(c2.Completions()) == 4
+	})
+	assertLedgersAgree(t, reps)
+}
+
+// TestDSVerifyPoolDeterminismOverTCP pins the acceptance property of
+// pooled verification: a DS cluster must produce byte-identical results and
+// state digests whether frames are verified by one worker or eight — the
+// pool parallelizes crypto, never reorders delivery.
+func TestDSVerifyPoolDeterminismOverTCP(t *testing.T) {
+	const txns = 5
+	var wantState types.Digest
+	var wantResults []types.Digest
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			opts := dsOpts("determinism-secret")
+			opts.verifyWorkers = workers
+			opts.cacheEntries = 4096
+			params, _ := quorum.NewParams(4)
+			peers, reps := tcpClusterWith(t, 4, opts, func() sm.Machine {
+				return rcc.New(rcc.Config{BatchSize: 1, Window: 4})
+			})
+			c1 := tcpClientWith(t, peers, params, 1, opts, disjointWrites(1, 100, txns))
+			c2 := tcpClientWith(t, peers, params, 2, opts, disjointWrites(2, 200, txns))
+			waitFor(t, 30*time.Second, func() bool {
+				return len(c1.Completions()) == txns && len(c2.Completions()) == txns
+			})
+			assertLedgersAgree(t, reps)
+
+			// Result hashes, keyed by (client, seq) so completion-arrival
+			// order doesn't matter, must be byte-identical across runs.
+			results := make([]types.Digest, 0, 2*txns)
+			for _, c := range []*client.Client{c1, c2} {
+				comps := c.Completions()
+				sort.Slice(comps, func(i, j int) bool { return comps[i].Seq < comps[j].Seq })
+				for _, comp := range comps {
+					results = append(results, comp.Result)
+				}
+			}
+			// Stop the cluster before touching application state (the app
+			// is single-threaded by contract), then compare digests: equal
+			// across replicas within the run, and across worker counts.
+			for _, r := range reps {
+				r.Stop()
+			}
+			state := reps[0].StateDigest()
+			for i, r := range reps {
+				if got := r.StateDigest(); got != state {
+					t.Fatalf("replica %d state digest diverges within run: %x != %x", i, got, state)
+				}
+			}
+			if wantState == (types.Digest{}) {
+				wantState, wantResults = state, results
+				return
+			}
+			if state != wantState {
+				t.Fatalf("state digest differs across verify worker counts: %x != %x", state, wantState)
+			}
+			if len(results) != len(wantResults) {
+				t.Fatalf("%d results, want %d", len(results), len(wantResults))
+			}
+			for i := range results {
+				if results[i] != wantResults[i] {
+					t.Fatalf("result %d differs across verify worker counts: %x != %x", i, results[i], wantResults[i])
+				}
+			}
+		})
+	}
+}
+
+// disjointWrites builds txns explicit writes to keys [base, base+txns) —
+// clients with different bases never touch the same record, so the final
+// application state is independent of cross-client interleaving and can be
+// compared bit-for-bit across runs.
+func disjointWrites(id types.ClientID, base uint32, txns int) []types.Transaction {
+	out := make([]types.Transaction, txns)
+	for i := range out {
+		out[i] = types.Transaction{
+			Client: id,
+			Seq:    uint64(i + 1),
+			Op:     ycsb.EncodeWrite(base+uint32(i), []byte(fmt.Sprintf("v-%d-%d", id, i))),
+		}
+	}
+	return out
+}
+
+// assertLedgersAgree verifies every replica's chain and that all heads
+// match.
+func assertLedgersAgree(t *testing.T, reps []*Replica) {
+	t.Helper()
+	h := reps[0].Ledger().Head()
+	waitFor(t, 10*time.Second, func() bool {
+		h = reps[0].Ledger().Head()
+		for _, r := range reps[1:] {
+			if r.Ledger().Head().Hash() != h.Hash() {
+				return false
+			}
+		}
+		return true
+	})
+	for i, r := range reps {
+		if err := r.Ledger().Verify(); err != nil {
+			t.Fatalf("replica %d ledger: %v", i, err)
+		}
+	}
+}

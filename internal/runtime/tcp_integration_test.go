@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/crypto"
+	"repro/internal/crypto/digestcache"
 	"repro/internal/pbft"
 	"repro/internal/quorum"
 	"repro/internal/rcc"
@@ -17,9 +18,39 @@ import (
 	"repro/internal/ycsb"
 )
 
-// tcpCluster spins up n replicas over loopback TCP — the exact stack
-// cmd/rccnode runs.
+// tcpAuthOpts parameterizes the authentication stack of a test cluster.
+type tcpAuthOpts struct {
+	// auth builds the party's authenticator; nil runs unauthenticated.
+	auth func(party uint32) crypto.Authenticator
+	// verifyWorkers is passed through to TCPConfig (0 = scheme default).
+	verifyWorkers int
+	// cacheEntries > 0 gives each replica a verified-digest cache.
+	cacheEntries int
+}
+
+// macOpts is the MAC-from-shared-secret configuration the original tests
+// use ("" = no authentication).
+func macOpts(secret string) tcpAuthOpts {
+	if secret == "" {
+		return tcpAuthOpts{}
+	}
+	return tcpAuthOpts{auth: func(p uint32) crypto.Authenticator { return crypto.NewMAC(p, []byte(secret)) }}
+}
+
+// dsOpts is the deterministic dev-keyring ED25519 configuration — the
+// cmd/rccnode `-auth ds` stack.
+func dsOpts(secret string) tcpAuthOpts {
+	return tcpAuthOpts{auth: func(p uint32) crypto.Authenticator { return crypto.NewDSDev(p, []byte(secret)) }}
+}
+
+// tcpCluster spins up n replicas over loopback TCP with pairwise MACs — the
+// exact stack cmd/rccnode runs.
 func tcpCluster(t *testing.T, n int, secret string, machine func() sm.Machine) (map[types.ReplicaID]string, []*Replica) {
+	t.Helper()
+	return tcpClusterWith(t, n, macOpts(secret), machine)
+}
+
+func tcpClusterWith(t *testing.T, n int, opts tcpAuthOpts, machine func() sm.Machine) (map[types.ReplicaID]string, []*Replica) {
 	t.Helper()
 	params, err := quorum.NewParams(n)
 	if err != nil {
@@ -41,13 +72,17 @@ func tcpCluster(t *testing.T, n int, secret string, machine func() sm.Machine) (
 		if err != nil {
 			t.Fatal(err)
 		}
-		var auth crypto.Authenticator
-		if secret != "" {
-			auth = crypto.NewMAC(crypto.PartyID(id), []byte(secret))
+		cfg := transport.TCPConfig{
+			Self: id, Listen: "127.0.0.1:0",
+			VerifyWorkers: opts.verifyWorkers,
 		}
-		tcp, err := transport.NewTCP(transport.TCPConfig{
-			Self: id, Listen: "127.0.0.1:0", Auth: auth,
-		}, reps[i])
+		if opts.auth != nil {
+			cfg.Auth = opts.auth(crypto.PartyID(id))
+		}
+		if opts.cacheEntries > 0 {
+			cfg.DigestCache = digestcache.New(opts.cacheEntries)
+		}
+		tcp, err := transport.NewTCP(cfg, reps[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,19 +104,26 @@ func tcpCluster(t *testing.T, n int, secret string, machine func() sm.Machine) (
 
 func tcpClient(t *testing.T, peers map[types.ReplicaID]string, params quorum.Params, id types.ClientID, secret string, txns int) *client.Client {
 	t.Helper()
-	mach := client.New(client.Config{Client: id, Broadcast: true, RetryTimeout: time.Second})
 	wl := ycsb.NewWorkload(ycsb.WorkloadConfig{Records: 1000, Seed: int64(id)})
-	for i := 0; i < txns; i++ {
-		mach.Submit(wl.Next(id))
+	txs := make([]types.Transaction, txns)
+	for i := range txs {
+		txs[i] = wl.Next(id)
+	}
+	return tcpClientWith(t, peers, params, id, macOpts(secret), txs)
+}
+
+func tcpClientWith(t *testing.T, peers map[types.ReplicaID]string, params quorum.Params, id types.ClientID, opts tcpAuthOpts, txs []types.Transaction) *client.Client {
+	t.Helper()
+	mach := client.New(client.Config{Client: id, Broadcast: true, RetryTimeout: time.Second})
+	for _, tx := range txs {
+		mach.Submit(tx)
 	}
 	proc := NewClient(id, params, mach)
-	var auth crypto.Authenticator
-	if secret != "" {
-		auth = crypto.NewMAC(crypto.ClientPartyID(id), []byte(secret))
+	cfg := transport.TCPConfig{IsClient: true, SelfClient: id, Peers: peers}
+	if opts.auth != nil {
+		cfg.Auth = opts.auth(crypto.ClientPartyID(id))
 	}
-	tcp, err := transport.NewTCP(transport.TCPConfig{
-		IsClient: true, SelfClient: id, Peers: peers, Auth: auth,
-	}, proc)
+	tcp, err := transport.NewTCP(cfg, proc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/crypto/digestcache"
 	"repro/internal/types"
 )
 
@@ -61,6 +63,31 @@ type TCPConfig struct {
 	// DrainTimeout bounds how long Close lets writer goroutines flush
 	// queued messages (default 1s).
 	DrainTimeout time.Duration
+
+	// VerifyWorkers sizes the shared inbound-verification worker pool (see
+	// verify.go). 0 picks a scheme-dependent default: GOMAXPROCS workers
+	// for digital signatures (verification dominates, parallelism pays),
+	// inline verification for MACs (a cached HMAC check is cheaper than a
+	// queue handoff). Negative forces the inline path; positive forces a
+	// pool of that size. Ignored when Auth is nil or SchemeNone.
+	VerifyWorkers int
+	// VerifyQueueDepth bounds both the shared pool queue and each link's
+	// in-order release FIFO, in frames (default 32). A link producing
+	// faster than the pool verifies backpressures its own reader.
+	VerifyQueueDepth int
+	// AuthFailLimit demotes an inbound link after this many consecutive
+	// records failed authentication (default 16): the connection is closed
+	// and the counting peer re-establishes through its reconnect backoff.
+	// Negative disables demotion.
+	AuthFailLimit int
+	// DigestCache, when set, memoizes verified client-request digests so
+	// retransmitted and cross-delivered requests skip re-verification.
+	// Worth wiring for digital signatures; a MAC re-check costs about as
+	// much as the cache's own hash.
+	DigestCache *digestcache.Cache
+	// VerifyObserve, when set, receives the queue+verify latency of every
+	// frame the verify pool completes (feeds the "verify" stage histogram).
+	VerifyObserve func(time.Duration)
 }
 
 func (c *TCPConfig) defaults() {
@@ -94,6 +121,30 @@ func (c *TCPConfig) defaults() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = time.Second
 	}
+	if c.VerifyQueueDepth <= 0 {
+		c.VerifyQueueDepth = 32
+	}
+	if c.AuthFailLimit == 0 {
+		c.AuthFailLimit = 16
+	}
+}
+
+// verifyWorkers resolves the VerifyWorkers policy against the configured
+// scheme: how many pool workers to start, or 0 for inline verification.
+func (c *TCPConfig) verifyWorkers() int {
+	if c.Auth == nil || c.Auth.Scheme() == crypto.SchemeNone {
+		return 0
+	}
+	switch {
+	case c.VerifyWorkers > 0:
+		return c.VerifyWorkers
+	case c.VerifyWorkers < 0:
+		return 0
+	case c.Auth.Scheme() == crypto.SchemeDS:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 0
+	}
 }
 
 // TCPStats are the transport's observable counters. All values are
@@ -123,6 +174,16 @@ type TCPStats struct {
 	EncodeErrs uint64
 	// AuthRejects counts records dropped for a bad authenticator tag.
 	AuthRejects uint64
+	// AuthDemotions counts inbound links closed after AuthFailLimit
+	// consecutive authentication failures.
+	AuthDemotions uint64
+	// VerifiedFrames counts frames verified off the reader thread by the
+	// verify worker pool (0 on the inline path).
+	VerifiedFrames uint64
+	// DigestHits / DigestMisses mirror the configured digest cache's
+	// counters (0 when no cache is wired).
+	DigestHits   uint64
+	DigestMisses uint64
 }
 
 // TCP is a TCP transport node. Send/SendClient enqueue onto bounded
@@ -132,6 +193,7 @@ type TCP struct {
 	cfg      TCPConfig
 	ep       Endpoint
 	listener net.Listener
+	pool     *verifyPool // nil = inline verification
 
 	mu          sync.Mutex
 	closing     bool
@@ -147,15 +209,17 @@ type TCP struct {
 	wgReaders     sync.WaitGroup
 	wgWriters     sync.WaitGroup
 
-	msgsSent      atomic.Uint64
-	batchesSent   atomic.Uint64
-	peerDropped   atomic.Uint64
-	clientDropped atomic.Uint64
-	reconnects    atomic.Uint64
-	badHeader     atomic.Uint64
-	decodeErrs    atomic.Uint64
-	encodeErrs    atomic.Uint64
-	authRejects   atomic.Uint64
+	msgsSent       atomic.Uint64
+	batchesSent    atomic.Uint64
+	peerDropped    atomic.Uint64
+	clientDropped  atomic.Uint64
+	reconnects     atomic.Uint64
+	badHeader      atomic.Uint64
+	decodeErrs     atomic.Uint64
+	encodeErrs     atomic.Uint64
+	authRejects    atomic.Uint64
+	authDemotions  atomic.Uint64
+	verifiedFrames atomic.Uint64
 }
 
 // NewTCP creates a TCP node delivering inbound messages to ep. Replicas
@@ -174,6 +238,9 @@ func NewTCP(cfg TCPConfig, ep Endpoint) (*TCP, error) {
 		cp[k] = v
 	}
 	t.cfg.Peers = cp
+	if w := t.cfg.verifyWorkers(); w > 0 {
+		t.pool = newVerifyPool(t, w)
+	}
 	if !cfg.IsClient {
 		ln, err := net.Listen("tcp", cfg.Listen)
 		if err != nil {
@@ -210,17 +277,24 @@ func (t *TCP) Addr() string {
 
 // Stats returns a snapshot of the transport's counters.
 func (t *TCP) Stats() TCPStats {
-	return TCPStats{
-		MsgsSent:      t.msgsSent.Load(),
-		BatchesSent:   t.batchesSent.Load(),
-		PeerDropped:   t.peerDropped.Load(),
-		ClientDropped: t.clientDropped.Load(),
-		Reconnects:    t.reconnects.Load(),
-		BadHeader:     t.badHeader.Load(),
-		DecodeErrs:    t.decodeErrs.Load(),
-		EncodeErrs:    t.encodeErrs.Load(),
-		AuthRejects:   t.authRejects.Load(),
+	st := TCPStats{
+		MsgsSent:       t.msgsSent.Load(),
+		BatchesSent:    t.batchesSent.Load(),
+		PeerDropped:    t.peerDropped.Load(),
+		ClientDropped:  t.clientDropped.Load(),
+		Reconnects:     t.reconnects.Load(),
+		BadHeader:      t.badHeader.Load(),
+		DecodeErrs:     t.decodeErrs.Load(),
+		EncodeErrs:     t.encodeErrs.Load(),
+		AuthRejects:    t.authRejects.Load(),
+		AuthDemotions:  t.authDemotions.Load(),
+		VerifiedFrames: t.verifiedFrames.Load(),
 	}
+	if c := t.cfg.DigestCache; c != nil {
+		cs := c.Stats()
+		st.DigestHits, st.DigestMisses = cs.Hits, cs.Misses
+	}
+	return st
 }
 
 // LinkStat is a point-in-time view of one outbound replica link.
@@ -329,6 +403,14 @@ func (t *TCP) readLoop(c net.Conn, dialed bool) {
 		t.mu.Unlock()
 		go cq.run()
 	}
+	var link *inLink
+	if t.pool != nil {
+		// Pooled verification: this loop only decodes and stages; the
+		// link's releaser delivers in order once workers have verified.
+		link = t.newInLink(c, hdr)
+		defer close(link.pending)
+	}
+	consecFails := 0
 	var lenb [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenb[:]); err != nil {
@@ -347,6 +429,17 @@ func (t *TCP) readLoop(c net.Conn, dialed bool) {
 			putBuf(bp)
 			return
 		}
+		if link != nil {
+			task, err := link.buildTask(frame)
+			putBuf(bp)
+			if err != nil {
+				return // framing desync: drop the connection
+			}
+			if task != nil && !t.pool.submit(link, task) {
+				return // shutting down
+			}
+			continue
+		}
 		err := forEachRecord(frame, func(tag, msg []byte) {
 			m, err := types.DecodeMessage(msg)
 			if err != nil {
@@ -355,8 +448,10 @@ func (t *TCP) readLoop(c net.Conn, dialed bool) {
 			}
 			if !t.verify(party, m, tag) {
 				t.authRejects.Add(1)
+				consecFails++
 				return
 			}
+			consecFails = 0
 			if hdr.isClient {
 				t.ep.DeliverClient(hdr.client, m)
 			} else {
@@ -367,6 +462,13 @@ func (t *TCP) readLoop(c net.Conn, dialed bool) {
 		if err != nil {
 			// A framing error desyncs the stream: drop the connection and
 			// let the peer re-establish.
+			return
+		}
+		if t.cfg.AuthFailLimit > 0 && consecFails >= t.cfg.AuthFailLimit {
+			// Demote: a stream of forged records stops costing verify
+			// cycles here; an honest-but-misconfigured dialer returns
+			// through its reconnect backoff.
+			t.authDemotions.Add(1)
 			return
 		}
 	}
@@ -465,6 +567,9 @@ func (t *TCP) Close() error {
 	}
 	t.mu.Unlock()
 	t.wgReaders.Wait()
+	if t.pool != nil {
+		t.pool.wg.Wait()
+	}
 	return nil
 }
 

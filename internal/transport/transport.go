@@ -32,7 +32,12 @@
 // Authentication: every record carries an authenticator tag over the
 // message's AuthPayload, computed on the writer goroutine and verified
 // against the sender identity announced in the connection's stream header
-// before delivery.
+// before delivery. With digital signatures (and optionally with MACs, see
+// TCPConfig.VerifyWorkers) verification runs on a bounded shared worker
+// pool that preserves per-link delivery order, batches a frame's records
+// into one VerifyBatch call, and can memoize verified client-request
+// digests in a TCPConfig.DigestCache; links streaming forged records are
+// demoted after AuthFailLimit consecutive failures. See verify.go.
 package transport
 
 import (

@@ -118,7 +118,17 @@ func appendRecord(buf []byte, auth crypto.Authenticator, party uint32, m types.M
 	var tag []byte
 	if auth != nil && auth.Scheme() != crypto.SchemeNone {
 		*scratch = m.AuthPayload((*scratch)[:0])
-		tag = auth.Tag(party, *scratch)
+		if ta, ok := auth.(crypto.TagAppender); ok {
+			// Tag lands in scratch right after the payload: no per-record
+			// allocation once the scratch buffer is warm. AppendTag only
+			// reads payload and appends to dst, so aliasing one buffer is
+			// safe even if the append reallocates.
+			plen := len(*scratch)
+			*scratch = ta.AppendTag(party, (*scratch)[:plen], *scratch)
+			tag = (*scratch)[plen:]
+		} else {
+			tag = auth.Tag(party, *scratch)
+		}
 	}
 	if len(tag) > maxTagLen {
 		return buf[:start], fmt.Errorf("transport: authenticator tag %d bytes exceeds %d", len(tag), maxTagLen)

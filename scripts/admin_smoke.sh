@@ -4,7 +4,10 @@
 # /readyz goes 200 on every replica, that /metrics parses far enough to carry
 # the key series, and that the per-stage latency histograms actually observed
 # the transactions the client executed — the live-cluster acceptance check
-# for the observability layer.
+# for the observability layer. The cluster runs with -auth ds (signed frames,
+# verify worker pool, digest cache), so the verify-stage histogram and the
+# verified-frames counter must move too — the CLI-level acceptance check for
+# the authentication layer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,10 +31,14 @@ go build -o "$BIN/rccnode" ./cmd/rccnode
 go build -o "$BIN/rccclient" ./cmd/rccclient
 
 PEERS="0=127.0.0.1:7700,1=127.0.0.1:7701,2=127.0.0.1:7702,3=127.0.0.1:7703"
+SECRET="admin-smoke-secret"
 for i in 0 1 2 3; do
   # -batch 1: the client keeps only its window in flight, so interactive
-  # batch sizing is what keeps the run fast.
+  # batch sizing is what keeps the run fast. -auth ds turns on signed
+  # frames with the pooled verifier; -digest-cache the cross-instance
+  # verified-request cache.
   "$BIN/rccnode" -id "$i" -n 4 -peers "$PEERS" -batch 1 \
+    -auth ds -auth-secret "$SECRET" -digest-cache 4096 \
     -data-dir "$DIR/replica-$i" -admin-addr "127.0.0.1:770$((i+4))" \
     -stats 0 >"$DIR/node-$i.log" 2>&1 &
   PIDS+=($!)
@@ -54,7 +61,8 @@ for i in 0 1 2 3; do
 done
 echo "OK: all replicas ready"
 
-"$BIN/rccclient" -n 4 -peers "$PEERS" -txns "$TXNS" -window 16
+"$BIN/rccclient" -n 4 -peers "$PEERS" -txns "$TXNS" -window 16 \
+  -auth ds -auth-secret "$SECRET"
 
 # Scrape replica 0 and assert the key series exist and moved.
 METRICS=$(curl -fsS "http://127.0.0.1:7704/metrics")
@@ -81,6 +89,7 @@ series 'rcc_requests_total'
 series 'rcc_rounds_decided_total'
 series 'rcc_rounds_unified_total'
 series 'rcc_acks_sent_total'
+series 'rcc_stage_latency_seconds_count{stage="verify"}'
 series 'rcc_stage_latency_seconds_count{stage="consensus"}'
 series 'rcc_stage_latency_seconds_count{stage="unify"}'
 series 'rcc_stage_latency_seconds_count{stage="execute"}'
@@ -91,6 +100,7 @@ series 'wal_appends_total'
 series 'rcc_txns_executed_total'
 series 'rcc_durability_healthy'
 series 'transport_msgs_sent_total'
+series 'transport_verified_frames_total'
 
 # The consensus stage must have observed at least the rounds the client's
 # transactions decided (no-op fills make it strictly more).

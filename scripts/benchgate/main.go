@@ -31,6 +31,14 @@
 // holds the conflict-aware execution engine to its >=2x floor on the
 // conflict-free workload (BenchmarkParallelExec) on multicore runners.
 //
+// Two more same-run pair gates hold the frame-authentication fast paths:
+// -min-cached-speedup pairs "/cached" with "/uncached" (BenchmarkAuth — the
+// precomputed-MAC-key + pooled-HMAC path against the derive-per-call
+// implementation it replaced, >=5x), and -min-pooled-speedup pairs
+// "/pooled" with "/inline" (BenchmarkVerifyPool — the parallel batched
+// signature-verification drain against sequential per-record verification,
+// >=2x on multicore runners).
+//
 // Refreshing the baseline: benchmark numbers are machine-bound, so the
 // baseline must come from the SAME runner class that gates. The CI bench
 // job uploads BENCH_ci.json with `if: always()` — download the artifact
@@ -81,7 +89,9 @@ func main() {
 		minSpeedup = flag.Float64("min-speedup", 0, "gate: fail when an async variant is not at least this many times faster than its sync sibling (0 disables)")
 		maxOverhd  = flag.Float64("max-overhead", 0, "gate: fail when a /live variant exceeds its /nop sibling by more than this fraction, both from the current run (0 disables)")
 		minParSpd  = flag.Float64("min-parallel-speedup", 0, "gate: fail when a /parallel variant is not at least this many times faster than its /serial sibling, both from the current run (0 disables)")
-		pattern    = flag.String("gate-pattern", `^Benchmark(WALAppend|AsyncJournal|Codec|Broadcast|Obs|ParallelExec)`, "gate: regexp selecting the benchmarks that block the build")
+		minCached  = flag.Float64("min-cached-speedup", 0, "gate: fail when a /cached variant is not at least this many times faster than its /uncached sibling, both from the current run (0 disables)")
+		minPooled  = flag.Float64("min-pooled-speedup", 0, "gate: fail when a /pooled variant is not at least this many times faster than its /inline sibling, both from the current run (0 disables)")
+		pattern    = flag.String("gate-pattern", `^Benchmark(WALAppend|AsyncJournal|Codec|Broadcast|Obs|ParallelExec|Auth|VerifyPool)`, "gate: regexp selecting the benchmarks that block the build")
 	)
 	flag.Parse()
 	switch {
@@ -90,7 +100,7 @@ func main() {
 	case *emit:
 		runEmit(*out, flag.Args())
 	default:
-		runGate(*baseline, *current, *pattern, *maxRegress, *minSpeedup, *maxOverhd, *minParSpd)
+		runGate(*baseline, *current, *pattern, *maxRegress, *minSpeedup, *maxOverhd, *minParSpd, *minCached, *minPooled)
 	}
 }
 
@@ -184,7 +194,7 @@ func load(path string) Summary {
 	return sum
 }
 
-func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup, maxOverhead, minParallelSpeedup float64) {
+func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup, maxOverhead, minParallelSpeedup, minCachedSpeedup, minPooledSpeedup float64) {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		fatal("gate: bad -gate-pattern: %v", err)
@@ -285,6 +295,22 @@ func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup, maxOverh
 		}
 	}
 
+	if minCachedSpeedup > 0 {
+		// Cached-MAC floor: the precomputed-pair-key + pooled-HMAC Tag+Verify
+		// path against the derive-keys-per-call implementation it replaced
+		// (BenchmarkAuth .../cached vs .../uncached), paired within the
+		// current run so the floor is machine-independent.
+		failures = append(failures, pairSpeedup(cur.Benchmarks, re, "cached", "uncached", minCachedSpeedup)...)
+	}
+
+	if minPooledSpeedup > 0 {
+		// Verify-pool floor: the parallel batched signature-verification
+		// drain against sequential per-record verification
+		// (BenchmarkVerifyPool .../pooled vs .../inline) — like the parallel
+		// execution floor, this needs the runner's multiple cores.
+		failures = append(failures, pairSpeedup(cur.Benchmarks, re, "pooled", "inline", minPooledSpeedup)...)
+	}
+
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
@@ -292,4 +318,31 @@ func runGate(basePath, curPath, pattern string, maxRegress, minSpeedup, maxOverh
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: OK — %d gated benchmarks within +%.0f%% of baseline\n", checked, 100*maxRegress)
+}
+
+// pairSpeedup enforces a same-run speedup floor: every gated benchmark
+// ending in "/<fast>" must be at least floor times faster than its
+// "/<slow>" sibling from the same summary. Returns the failure messages,
+// including one when no pairs exist at all (a silent gate checks nothing).
+func pairSpeedup(cur map[string]Result, re *regexp.Regexp, fast, slow string, floor float64) []string {
+	var failures []string
+	pairs := 0
+	for name, c := range cur {
+		if !re.MatchString(name) || !strings.HasSuffix(name, "/"+fast) {
+			continue
+		}
+		s, ok := cur[strings.TrimSuffix(name, "/"+fast)+"/"+slow]
+		if !ok {
+			continue
+		}
+		pairs++
+		if speedup := s.NsPerOp / c.NsPerOp; speedup < floor {
+			failures = append(failures, fmt.Sprintf("%s: %s is only %.2fx %s (%.0f vs %.0f ns/op), want >= %.1fx",
+				name, fast, speedup, slow, c.NsPerOp, s.NsPerOp, floor))
+		}
+	}
+	if pairs == 0 {
+		failures = append(failures, fmt.Sprintf("no %s/%s benchmark pairs found for the speedup floor check", slow, fast))
+	}
+	return failures
 }
