@@ -28,6 +28,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/rcc"
 	"repro/internal/simnet"
 	"repro/internal/sm"
@@ -665,6 +666,75 @@ func BenchmarkObsOverhead(b *testing.B) {
 				runtime.Gosched()
 			}
 			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkFlightRecord prices the flight recorder where it bills the event
+// loop: the vote-broadcast path, with the two protocol events a decided
+// round records (instance decision, wave unification) around the real
+// network work. The /nop variant runs the identical call structure through a
+// zero NodeMetrics (nil recorder — every Emit is the nil-check); the /live
+// variant records into a real 4096-slot ring. scripts/benchgate pairs them
+// and holds live within 5% of nop in CI.
+func BenchmarkFlightRecord(b *testing.B) {
+	variants := []struct {
+		name string
+		met  *obs.NodeMetrics
+	}{
+		{"nop", &obs.NodeMetrics{}},
+		{"live", obs.NewNodeMetrics(obs.NewRegistry(), 4096, 64)},
+	}
+	for _, v := range variants {
+		met := v.met
+		b.Run("vote-broadcast/"+v.name, func(b *testing.B) {
+			peerMap := make(map[types.ReplicaID]string)
+			var recvs []*transport.TCP
+			for i := 0; i < 3; i++ {
+				id := types.ReplicaID(i + 1)
+				r, err := transport.NewTCP(transport.TCPConfig{Self: id, Listen: "127.0.0.1:0"}, discardEndpoint{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recvs = append(recvs, r)
+				peerMap[id] = r.Addr()
+			}
+			t0, err := transport.NewTCP(transport.TCPConfig{
+				Self: 0, Listen: "127.0.0.1:0", Peers: peerMap,
+			}, discardEndpoint{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer t0.Close()
+			defer func() {
+				for _, r := range recvs {
+					r.Close()
+				}
+			}()
+			for p := types.ReplicaID(1); p <= 3; p++ {
+				if err := t0.Send(p, bench.NetVote()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			warmDeadline := time.Now().Add(10 * time.Second)
+			for t0.Stats().MsgsSent < 3 {
+				if time.Now().After(warmDeadline) {
+					b.Fatalf("warmup stalled: %+v", t0.Stats())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			vote := bench.NetVote()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met.Emit(0, flight.SubRCC, flight.KInstanceDecide, uint32(i%15), uint64(i%8), uint64(i), 0)
+				for p := types.ReplicaID(1); p <= 3; p++ {
+					if err := t0.Send(p, vote); err != nil {
+						b.Fatal(err)
+					}
+				}
+				met.Emit(0, flight.SubRCC, flight.KWaveUnify, 0, 0, uint64(i), 3)
+			}
 		})
 	}
 }

@@ -42,7 +42,7 @@ func main() {
 	order := []string{
 		"fig1left", "fig1right", "fig6", "fig7left", "fig7right",
 		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
-		"fig9", "fig10", "exec", "statesync", "stages", "crypto", "summary", "validate",
+		"fig9", "fig10", "exec", "statesync", "stages", "timeline", "crypto", "summary", "validate",
 	}
 
 	if *list {
@@ -79,6 +79,13 @@ func main() {
 			t, err := bench.Stages()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "stages: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(t.Render())
+		case "timeline":
+			t, err := bench.Timeline()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Println(t.Render())

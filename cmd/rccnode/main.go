@@ -30,6 +30,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/crypto/digestcache"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/quorum"
 	"repro/internal/runtime"
 	"repro/internal/transport"
@@ -73,6 +74,43 @@ func buildAuth(schemeArg, secret, macSecret string, party uint32) (crypto.Authen
 	return crypto.NewAuth(scheme, party, []byte(secret))
 }
 
+// runTimeline is the post-mortem scrape mode: each comma-separated entry is
+// either an admin address (its /debug/events ring is fetched live) or a path
+// to a flight.bin dump (read from disk — the black box of a replica that is
+// already gone). The rings merge into one hybrid-clock-aligned causal
+// timeline with anomaly highlighting on stdout.
+func runTimeline(entries string) error {
+	var snaps []flight.Snapshot
+	for _, raw := range strings.Split(entries, ",") {
+		entry := strings.TrimSpace(raw)
+		if entry == "" {
+			continue
+		}
+		var (
+			snap flight.Snapshot
+			err  error
+		)
+		if _, statErr := os.Stat(entry); statErr == nil {
+			snap, err = flight.ReadFile(entry)
+		} else {
+			snap, err = flight.FetchHTTP(entry)
+		}
+		if err != nil {
+			// A dead replica's endpoint refusing connections is the very
+			// scenario this mode exists for: report and merge what we have.
+			log.Printf("rccnode: timeline: skipping %s: %v", entry, err)
+			continue
+		}
+		snaps = append(snaps, snap)
+	}
+	if len(snaps) == 0 {
+		return errors.New("no rings could be fetched")
+	}
+	tl := flight.Merge(snaps)
+	flight.WriteTimeline(os.Stdout, tl, flight.DetectAnomalies(tl))
+	return nil
+}
+
 func main() {
 	var (
 		id       = flag.Int("id", 0, "replica ID (0..n-1)")
@@ -102,11 +140,22 @@ func main() {
 		chunkB   = flag.Int("snapshot-chunk-bytes", 0, "state sync: snapshot chunk size served to peers (0 = default 256 KiB)")
 		syncSrc  = flag.Int("state-sync-source", -1, "state sync: preferred transfer source replica ID (-1 = automatic; the fetcher still rotates away on failure)")
 		execWkrs = flag.Int("exec-workers", 0, "parallel execution workers per batch: conflict-free transactions of a unified round fan out across this many goroutines (0 = GOMAXPROCS, 1 = serial)")
-		adminArg = flag.String("admin-addr", "", "admin HTTP listener serving /metrics (Prometheus), /healthz, /readyz, /debug/trace, and /debug/pprof (empty = off)")
+		adminArg = flag.String("admin-addr", "", "admin HTTP listener serving /metrics (Prometheus), /healthz, /readyz, /debug/trace, /debug/events, and /debug/pprof (empty = off)")
 		traceN   = flag.Int("trace-sample", 64, "lifecycle tracer: sample 1 in N transactions into the /debug/trace ring (1 = all, negative = off)")
 		traceBuf = flag.Int("trace-buf", 4096, "lifecycle tracer: ring buffer capacity in events")
+		flightN  = flag.Int("flight-buf", 0, "flight recorder: ring capacity in events (0 = default 4096, negative = off)")
+		stallThr = flag.Duration("stall-threshold", 0, "flight recorder: event-loop stall watchdog threshold (0 = default 500ms, negative = off)")
+		mirrorIv = flag.Duration("flight-mirror", 0, "flight recorder: crash-safe mirror period for <data-dir>/flight.bin (0 = default 2s, negative = off)")
+		timeline = flag.String("timeline", "", "scrape mode: comma-separated admin addresses and/or flight.bin paths; fetch every ring, merge into one causal cluster timeline on stdout, and exit")
 	)
 	flag.Parse()
+
+	if *timeline != "" {
+		if err := runTimeline(*timeline); err != nil {
+			log.Fatalf("rccnode: timeline: %v", err)
+		}
+		return
+	}
 
 	peers, err := parsePeers(*peersArg)
 	if err != nil {
@@ -126,6 +175,13 @@ func main() {
 	var metrics *obs.NodeMetrics
 	if *adminArg != "" {
 		metrics = obs.NewNodeMetrics(obs.NewRegistry(), *traceBuf, *traceN)
+		if *flightN >= 0 {
+			size := *flightN
+			if size == 0 {
+				size = 4096
+			}
+			metrics.Flight = flight.New(size)
+		}
 	}
 
 	opts := core.Options{
@@ -181,7 +237,11 @@ func main() {
 			ChunkBytes: *chunkB,
 			Source:     source,
 		},
-		Exec:           runtime.ExecOptions{Workers: *execWkrs},
+		Exec: runtime.ExecOptions{Workers: *execWkrs},
+		Flight: runtime.FlightOptions{
+			StallThreshold: *stallThr,
+			MirrorInterval: *mirrorIv,
+		},
 		ReplyToClients: true,
 		Logf:           log.Printf,
 		Metrics:        metrics,
@@ -217,6 +277,7 @@ func main() {
 	}
 	if metrics != nil {
 		tcpCfg.VerifyObserve = func(d time.Duration) { metrics.ObserveStage(obs.StageVerify, d) }
+		tcpCfg.Flight = metrics.Flight
 	}
 	tcp, err := transport.NewTCP(tcpCfg, rep)
 	if err != nil {
@@ -227,7 +288,7 @@ func main() {
 	log.Printf("rccnode: replica %d/%d (%s) listening on %s", *id, *n, *protoArg, tcp.Addr())
 
 	if *adminArg != "" {
-		handler := obs.NewHandler(metrics.Registry(), metrics.Tracer, obs.Health{
+		handler := obs.NewHandler(metrics.Registry(), metrics.Tracer, metrics.Flight, obs.Health{
 			// Liveness: the sticky durability error is fatal — a replica
 			// that cannot journal must be replaced, not retried.
 			Healthy: rep.DurabilityErr,
@@ -252,7 +313,7 @@ func main() {
 				log.Printf("rccnode: admin server: %v", err)
 			}
 		}()
-		log.Printf("rccnode: admin endpoints on http://%s (/metrics /healthz /readyz /debug/trace /debug/pprof)", ln.Addr())
+		log.Printf("rccnode: admin endpoints on http://%s (/metrics /healthz /readyz /debug/trace /debug/events /debug/pprof)", ln.Addr())
 	}
 
 	done := make(chan struct{})

@@ -129,14 +129,30 @@
 // Observability: internal/obs instruments the full request path —
 // per-stage latency histograms (verify, consensus, unify, execute,
 // journal, ack),
-// consensus/WAL/transport/statesync counters, and a deterministic 1-in-N
-// transaction lifecycle tracer — behind a dependency-free, allocation-free
-// metrics registry whose overhead CI gates at ≤5% of the instrumented hot
-// paths. rccnode -admin-addr serves /metrics (Prometheus text format),
-// /healthz (flips on the sticky durability error), /readyz (journaling and
-// caught up), /debug/trace, and /debug/pprof. See internal/obs and the
-// README's "Observability" section; rccbench -exp stages prints the same
-// stage breakdown against client-observed end-to-end latency.
+// consensus/WAL/transport/statesync counters, Go runtime self-metrics,
+// and a deterministic 1-in-N transaction lifecycle tracer — behind a
+// dependency-free, allocation-free metrics registry whose overhead CI
+// gates at ≤5% of the instrumented hot paths. rccnode -admin-addr serves
+// /metrics (Prometheus text format), /healthz (flips on the sticky
+// durability error), /readyz (journaling and caught up), /debug/trace,
+// /debug/events, and /debug/pprof. See internal/obs and the README's
+// "Observability" section; rccbench -exp stages prints the same stage
+// breakdown against client-observed end-to-end latency.
+//
+// Flight recorder: internal/obs/flight is the black box behind
+// /debug/events — a lock-free bounded ring of fixed-shape protocol events
+// (view changes, suspects, checkpoint adoptions, instance decisions, wave
+// unifications, voids, recovery kicks, connect/reconnect/demotions,
+// fsync stalls, the sticky durability poison, snapshot commits, statesync
+// phase transitions and offer rejections with causes, and loop_stalled
+// from the event-loop watchdog). Dumps are cursor-based (?since=, text or
+// binary), mirror crash-safely to <data-dir>/flight.bin (-flight-mirror,
+// plus immediately on durability poison), and merge across replicas into
+// one causally ordered cluster timeline with anomaly highlighting:
+// rccnode -timeline <admin-addr|flight.bin>[,...]. rccbench -exp timeline
+// rehearses the workflow in-process; see the README's "Flight recorder &
+// cluster timeline" section for the event catalog, the cursor contract,
+// and a worked stuck-wave diagnosis.
 //
 // The root-level benchmarks (bench_test.go) expose one testing.B target per
 // table and figure of the paper's evaluation:

@@ -1,0 +1,118 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// snapAt builds a snapshot whose anchor maps mono offset 0 to base, so
+// tests can place events at exact wall times across "replicas" with
+// different anchors — the merge must align them anyway.
+func snapAt(replica uint16, base time.Time, events ...Event) Snapshot {
+	return Snapshot{
+		Replica:    replica,
+		AnchorWall: base.UnixNano(),
+		AnchorMono: 0,
+		Events:     events,
+	}
+}
+
+func TestMergeAlignsSkewedAnchors(t *testing.T) {
+	base := time.Unix(1000, 0)
+	// Replica 1's wall clock stepped 1h forward before its dump, so its
+	// anchor wall is 1h ahead — but the anchor pair was captured at dump
+	// time, so its events (stamped only with mono offsets) still resolve
+	// to the true instants and interleave with replica 0's.
+	a := snapAt(0, base,
+		Event{Mono: int64(10 * time.Millisecond), Replica: 0, Sub: SubRCC, Kind: KInstanceDecide, Seq: 1},
+		Event{Mono: int64(30 * time.Millisecond), Replica: 0, Sub: SubRCC, Kind: KWaveUnify, Seq: 1},
+	)
+	b := snapAt(1, base.Add(time.Hour),
+		Event{Mono: int64(20*time.Millisecond) - int64(time.Hour), Replica: 1, Sub: SubPBFT, Kind: KSuspect, Instance: 2},
+	)
+	tl := Merge([]Snapshot{a, b})
+	if len(tl) != 3 {
+		t.Fatalf("merged %d events, want 3", len(tl))
+	}
+	want := []Kind{KInstanceDecide, KSuspect, KWaveUnify}
+	for i, k := range want {
+		if tl[i].Kind != k {
+			t.Fatalf("position %d is %s, want %s", i, tl[i].Kind, k)
+		}
+	}
+	if got := tl[1].Wall.Sub(tl[0].Wall); got != 10*time.Millisecond {
+		t.Fatalf("cross-replica gap = %s, want 10ms", got)
+	}
+}
+
+func TestDetectViewChangeStorm(t *testing.T) {
+	base := time.Unix(2000, 0)
+	var evs []Event
+	for i := 0; i < 3; i++ {
+		evs = append(evs, Event{
+			Mono: int64(i) * int64(time.Second), Replica: 1,
+			Sub: SubPBFT, Kind: KViewChangeStart, Instance: 4, View: uint64(i + 1),
+		})
+	}
+	anoms := DetectAnomalies(Merge([]Snapshot{snapAt(1, base, evs...)}))
+	if len(anoms) != 1 || anoms[0].Title != "view-change-storm" {
+		t.Fatalf("anomalies = %+v, want one view-change-storm", anoms)
+	}
+	// Same three starts spread over a minute: no storm.
+	for i := range evs {
+		evs[i].Mono = int64(i) * int64(30*time.Second)
+	}
+	if anoms := DetectAnomalies(Merge([]Snapshot{snapAt(1, base, evs...)})); len(anoms) != 0 {
+		t.Fatalf("spread-out view changes flagged: %+v", anoms)
+	}
+}
+
+func TestDetectRepeatedDemotionAndStalledWave(t *testing.T) {
+	base := time.Unix(3000, 0)
+	evs := []Event{
+		{Mono: 0, Replica: 0, Sub: SubTransport, Kind: KDemote, Detail: 2},
+		{Mono: int64(time.Second), Replica: 0, Sub: SubTransport, Kind: KDemote, Detail: 2},
+		// Decisions pile up with no unify for > waveStallGap.
+		{Mono: int64(2 * time.Second), Replica: 0, Sub: SubRCC, Kind: KInstanceDecide, Instance: 0, Seq: 5},
+		{Mono: int64(3 * time.Second), Replica: 1, Sub: SubRCC, Kind: KInstanceDecide, Instance: 1, Seq: 5},
+		{Mono: int64(6 * time.Second), Replica: 0, Sub: SubRCC, Kind: KInstanceDecide, Instance: 0, Seq: 6},
+		{Mono: int64(7 * time.Second), Replica: 0, Sub: SubRuntime, Kind: KLoopStall, Detail: uint64(80 * time.Millisecond)},
+	}
+	anoms := DetectAnomalies(Merge([]Snapshot{snapAt(0, base, evs...)}))
+	titles := map[string]bool{}
+	for _, a := range anoms {
+		titles[a.Title] = true
+	}
+	for _, want := range []string{"repeated-demotion", "stalled-wave", "loop-stall"} {
+		if !titles[want] {
+			t.Errorf("missing anomaly %q in %+v", want, anoms)
+		}
+	}
+	// A healthy decide→unify cadence must not trip the wave detector.
+	healthy := []Event{
+		{Mono: 0, Sub: SubRCC, Kind: KInstanceDecide, Seq: 1},
+		{Mono: int64(100 * time.Millisecond), Sub: SubRCC, Kind: KWaveUnify, Seq: 1},
+		{Mono: int64(5 * time.Second), Sub: SubRCC, Kind: KInstanceDecide, Seq: 2},
+		{Mono: int64(5*time.Second + 100*time.Millisecond), Sub: SubRCC, Kind: KWaveUnify, Seq: 2},
+	}
+	if anoms := DetectAnomalies(Merge([]Snapshot{snapAt(0, base, healthy...)})); len(anoms) != 0 {
+		t.Fatalf("healthy cadence flagged: %+v", anoms)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	base := time.Unix(4000, 0)
+	tl := Merge([]Snapshot{snapAt(0, base,
+		Event{Mono: 0, Replica: 0, Sub: SubTransport, Kind: KReconnect, Detail: 3},
+		Event{Mono: int64(time.Second), Replica: 0, Sub: SubRuntime, Kind: KLoopStall, Detail: uint64(time.Second)},
+	)})
+	var sb strings.Builder
+	WriteTimeline(&sb, tl, DetectAnomalies(tl))
+	out := sb.String()
+	for _, want := range []string{"reconnect", "loop_stalled", "!! ", "loop-stall", "anomalies: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+
+	"repro/internal/obs/flight"
 )
 
 // Health wires liveness and readiness probes into the admin handler. A nil
@@ -20,12 +23,18 @@ type Health struct {
 
 // NewHandler returns the admin HTTP handler:
 //
-//	/metrics      Prometheus text exposition of reg
-//	/healthz      liveness probe (503 once durability is poisoned)
-//	/readyz       readiness probe (503 until caught up and journaling)
-//	/debug/trace  lifecycle tracer ring dump
-//	/debug/pprof  Go runtime profiles
-func NewHandler(reg *Registry, tr *Tracer, h Health) http.Handler {
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       liveness probe (503 once durability is poisoned)
+//	/readyz        readiness probe (503 until caught up and journaling)
+//	/debug/trace   lifecycle tracer ring dump; ?since=<cursor> for only-new
+//	/debug/events  flight recorder dump; ?since=<cursor>, ?format=bin|text
+//	/debug/pprof   Go runtime profiles
+//
+// Both ring endpoints share the cursor contract: each response ends with
+// (text) or carries in its header (binary) a `next` cursor; passing it back
+// as ?since= returns only events recorded after the previous poll. fr may
+// be nil (flight recording disabled).
+func NewHandler(reg *Registry, tr *Tracer, fr *flight.Recorder, h Health) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -33,13 +42,36 @@ func NewHandler(reg *Registry, tr *Tracer, h Health) http.Handler {
 	})
 	mux.HandleFunc("/healthz", probe(h.Healthy))
 	mux.HandleFunc("/readyz", probe(h.Ready))
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if tr == nil {
 			fmt.Fprintln(w, "trace: tracing disabled")
 			return
 		}
-		tr.WriteText(w)
+		since, ok := sinceParam(w, r)
+		if !ok {
+			return
+		}
+		tr.WriteTextSince(w, since)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if fr == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "flight: recording disabled")
+			return
+		}
+		since, ok := sinceParam(w, r)
+		if !ok {
+			return
+		}
+		snap := fr.Dump(since)
+		if r.URL.Query().Get("format") == "bin" {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			flight.EncodeBinary(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		flight.WriteText(w, snap)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -47,6 +79,21 @@ func NewHandler(reg *Registry, tr *Tracer, h Health) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// sinceParam parses the optional ?since= ring cursor; on a malformed value
+// it writes 400 and reports false.
+func sinceParam(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		return 0, true
+	}
+	since, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return since, true
 }
 
 func probe(f func() error) http.HandlerFunc {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs/flight"
 )
 
 // validatePrometheusText checks a /metrics body against the Prometheus text
@@ -119,7 +122,12 @@ func validatePrometheusText(t *testing.T, body string) {
 
 func scrape(t *testing.T, reg *Registry, tr *Tracer, h Health, path string) (int, string) {
 	t.Helper()
-	srv := httptest.NewServer(NewHandler(reg, tr, h))
+	return scrapeFlight(t, reg, tr, nil, h, path)
+}
+
+func scrapeFlight(t *testing.T, reg *Registry, tr *Tracer, fr *flight.Recorder, h Health, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(reg, tr, fr, h))
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL + path)
 	if err != nil {
@@ -252,5 +260,114 @@ func TestTraceAndPprofEndpoints(t *testing.T) {
 	}
 	if code, body := scrape(t, NewRegistry(), nil, Health{}, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// nextCursor extracts the trailing "next=<cursor>" line a ring dump ends
+// with — the value a poller passes back as ?since=.
+func nextCursor(t *testing.T, body string) uint64 {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^next=(\d+)$`).FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("dump carries no next= cursor:\n%s", body)
+	}
+	n, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestTraceSinceCursor(t *testing.T) {
+	tr := NewTracer(16, 1)
+	tr.Record(1, 1, PointArrive)
+	tr.Record(1, 1, PointDecide)
+
+	code, body := scrape(t, NewRegistry(), tr, Health{}, "/debug/trace")
+	if code != 200 || !strings.Contains(body, "client=1 seq=1") {
+		t.Fatalf("/debug/trace = %d %q", code, body)
+	}
+	cur := nextCursor(t, body)
+	if cur != 2 {
+		t.Fatalf("cursor = %d, want 2", cur)
+	}
+
+	// Polling at the cursor returns nothing new but repeats the cursor.
+	_, body = scrape(t, NewRegistry(), tr, Health{}, fmt.Sprintf("/debug/trace?since=%d", cur))
+	if !strings.Contains(body, "no sampled events") || nextCursor(t, body) != cur {
+		t.Fatalf("poll at head = %q", body)
+	}
+
+	// New events after the cursor show up in the incremental poll.
+	tr.Record(2, 7, PointAck)
+	_, body = scrape(t, NewRegistry(), tr, Health{}, fmt.Sprintf("/debug/trace?since=%d", cur))
+	if !strings.Contains(body, "client=2 seq=7") || strings.Contains(body, "client=1 seq=1") {
+		t.Fatalf("incremental poll = %q", body)
+	}
+
+	if code, _ := scrape(t, NewRegistry(), tr, Health{}, "/debug/trace?since=banana"); code != 400 {
+		t.Fatalf("bad cursor accepted: %d", code)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	fr := flight.New(64)
+	fr.Record(2, flight.SubPBFT, flight.KViewChangeStart, 1, 3, 0, 0)
+	fr.Record(2, flight.SubTransport, flight.KDemote, 0, 0, 0, 1)
+
+	code, body := scrapeFlight(t, NewRegistry(), nil, fr, Health{}, "/debug/events")
+	if code != 200 || !strings.Contains(body, "view_change_start") || !strings.Contains(body, "demote") {
+		t.Fatalf("/debug/events = %d %q", code, body)
+	}
+	cur := nextCursor(t, body)
+
+	// Incremental poll: only events after the cursor.
+	fr.Record(2, flight.SubTransport, flight.KReconnect, 0, 0, 0, 1)
+	_, body = scrapeFlight(t, NewRegistry(), nil, fr, Health{}, fmt.Sprintf("/debug/events?since=%d", cur))
+	if !strings.Contains(body, "reconnect") || strings.Contains(body, "view_change_start") {
+		t.Fatalf("incremental events poll = %q", body)
+	}
+
+	// Binary format parses back through the flight codec.
+	_, body = scrapeFlight(t, NewRegistry(), nil, fr, Health{}, "/debug/events?format=bin")
+	snap, err := flight.DecodeBinary(bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Events) != 3 || snap.Events[2].Kind != flight.KReconnect {
+		t.Fatalf("binary events dump = %+v", snap)
+	}
+
+	if code, _ := scrapeFlight(t, NewRegistry(), nil, fr, Health{}, "/debug/events?since=nope"); code != 400 {
+		t.Fatalf("bad cursor accepted: %d", code)
+	}
+	if _, body := scrapeFlight(t, NewRegistry(), nil, nil, Health{}, "/debug/events"); !strings.Contains(body, "disabled") {
+		t.Fatalf("nil recorder dump = %q", body)
+	}
+}
+
+func TestRuntimeSelfMetrics(t *testing.T) {
+	reg := NewRegistry()
+	NewNodeMetrics(reg, 0, -1)
+	code, body := scrape(t, reg, nil, Health{}, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	validatePrometheusText(t, body)
+	for _, want := range []string{"go_goroutines", "go_heap_inuse_bytes", "go_gc_pause_p99_seconds", "go_gomaxprocs", "rcc_build_info{goversion="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Goroutine count and heap in use must be live, non-zero values.
+	for _, gauge := range []string{"go_goroutines", "go_heap_inuse_bytes"} {
+		m := regexp.MustCompile(`(?m)^` + gauge + ` (\S+)$`).FindStringSubmatch(body)
+		if m == nil {
+			t.Errorf("%s sample line missing", gauge)
+			continue
+		}
+		if v, err := strconv.ParseFloat(m[1], 64); err != nil || v <= 0 {
+			t.Errorf("%s = %q, want positive number", gauge, m[1])
+		}
 	}
 }

@@ -105,32 +105,57 @@ func (t *Tracer) Record(client, seq uint64, p TracePoint) {
 
 // Dump returns the buffered events, oldest first.
 func (t *Tracer) Dump() []TraceEvent {
+	events, _ := t.DumpSince(0)
+	return events
+}
+
+// DumpSince returns the buffered events with ring index >= since, oldest
+// first, plus the cursor to pass as since on the next call.
+//
+// Cursor contract (shared with the flight recorder's /debug/events):
+// the cursor is the total number of events ever recorded, not a ring
+// offset. DumpSince(0) returns the whole retained ring; DumpSince(next)
+// with the cursor from the previous call returns only events recorded
+// after it. Events that fell off the ring between polls are silently
+// gone — a poller that lags more than the ring size misses them, and can
+// detect the gap because the first returned event's implied index
+// (next - len(events)) exceeds its cursor.
+func (t *Tracer) DumpSince(since uint64) ([]TraceEvent, uint64) {
 	if t == nil {
-		return nil
+		return nil, 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := t.next
 	size := uint64(len(t.buf))
-	start := uint64(0)
-	count := n
-	if n > size {
-		start = n % size
-		count = size
+	lo := since
+	if n > size && lo < n-size {
+		lo = n - size
 	}
-	out := make([]TraceEvent, 0, count)
-	for i := uint64(0); i < count; i++ {
-		out = append(out, t.buf[(start+i)%size])
+	if lo >= n {
+		return nil, n
 	}
-	return out
+	out := make([]TraceEvent, 0, n-lo)
+	for i := lo; i < n; i++ {
+		out = append(out, t.buf[i%size])
+	}
+	return out, n
 }
 
-// WriteText renders the ring grouped by transaction, each stamp shown as a
-// delta from the transaction's first recorded stamp.
+// WriteText renders the whole retained ring; see WriteTextSince.
 func (t *Tracer) WriteText(w io.Writer) {
-	events := t.Dump()
+	t.WriteTextSince(w, 0)
+}
+
+// WriteTextSince renders the ring events after the given cursor, grouped
+// by transaction, each stamp shown as a delta from the transaction's first
+// recorded stamp. The trailing "next=<cursor>" line carries the cursor for
+// the next poll (the ?since= parameter on /debug/trace).
+func (t *Tracer) WriteTextSince(w io.Writer, since uint64) {
+	events, next := t.DumpSince(since)
 	if len(events) == 0 {
 		fmt.Fprintln(w, "trace: no sampled events recorded")
+		fmt.Fprintf(w, "next=%d\n", next)
 		return
 	}
 	type key struct{ client, seq uint64 }
@@ -153,4 +178,5 @@ func (t *Tracer) WriteText(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+	fmt.Fprintf(w, "next=%d\n", next)
 }

@@ -3,6 +3,7 @@ package pbft
 import (
 	"encoding/binary"
 
+	"repro/internal/obs/flight"
 	"repro/internal/sm"
 	"repro/internal/types"
 )
@@ -155,6 +156,7 @@ func (p *Instance) adoptFromCheckpoint(r types.Round, state types.Digest) {
 			continue
 		}
 		// Certified: adopt every missing round.
+		p.emit(flight.KCheckpointAdopt, p.view, uint64(r), 0)
 		for q := p.deliver; q <= r; q++ {
 			if rd, ok := p.rounds[q]; ok && rd.committed {
 				continue

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sm"
 	"repro/internal/types"
 )
@@ -704,11 +705,17 @@ func (p *Instance) markDelivered(b *types.Batch) {
 	p.pending = kept
 }
 
+// emit records a flight event attributed to this replica and instance.
+func (p *Instance) emit(kind flight.Kind, view types.View, seq, detail uint64) {
+	p.cfg.Metrics.Emit(uint16(p.env.ID()), flight.SubPBFT, kind, uint32(p.cfg.Instance), uint64(view), seq, detail)
+}
+
 // suspect reports a detected primary failure.
 func (p *Instance) suspect(rnd types.Round) {
 	if met := p.cfg.Metrics; met != nil {
 		met.Suspects.Inc()
 	}
+	p.emit(flight.KSuspect, p.view, uint64(rnd), 0)
 	if p.cfg.FixedPrimary {
 		p.env.Suspect(p.cfg.Instance, rnd)
 		return

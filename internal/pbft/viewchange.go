@@ -3,6 +3,7 @@ package pbft
 import (
 	"sort"
 
+	"repro/internal/obs/flight"
 	"repro/internal/sm"
 	"repro/internal/types"
 )
@@ -39,6 +40,7 @@ func (p *Instance) startViewChange(nv types.View) {
 	p.view = nv
 	p.disarmTimer()
 	p.env.Logf("pbft[%d]: view change -> %d (primary %d)", p.cfg.Instance, nv, p.primaryOf(nv))
+	p.emit(flight.KViewChangeStart, nv, uint64(p.deliver), 0)
 
 	vc := &types.ViewChange{
 		Replica:   p.env.ID(),
@@ -213,6 +215,7 @@ func (p *Instance) onNewView(from types.ReplicaID, m *types.NewView) {
 	if met := p.cfg.Metrics; met != nil {
 		met.ViewChanges.Inc()
 	}
+	p.emit(flight.KViewChangeDone, m.NewView, uint64(p.deliver), uint64(len(m.Reproposed)))
 	if p.viewInstalled != nil {
 		p.viewInstalled(m.NewView)
 	}

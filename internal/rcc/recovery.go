@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs/flight"
 	"repro/internal/sm"
 	"repro/internal/types"
 )
@@ -272,6 +273,7 @@ func (r *Replica) handleStop(inst types.InstanceID, evidence []*types.Failure) {
 	}
 	st.inst.ResumeAt(resume)
 	st.startedAt = resume
+	r.emit(flight.KVoid, inst, 0, uint64(resume), uint64(st.stops))
 	r.env.Logf("rcc: applied stop(%d): last=%d resume=%d stops=%d", inst, last, resume, st.stops)
 	r.resetDetection(st, resume)
 	r.tryExecute()
@@ -296,6 +298,7 @@ func (r *Replica) resetDetection(st *instState, startedAt types.Round) {
 // peers. Requests coalesce in the runtime; duplicates are cheap.
 func (r *Replica) requestStateSync() {
 	if req, ok := r.env.(sm.StateSyncRequester); ok {
+		r.emit(flight.KRecoveryKick, 0, 0, uint64(r.execRound), 0)
 		req.RequestStateSync()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/pbft"
 	"repro/internal/sm"
 	"repro/internal/types"
@@ -430,6 +431,11 @@ func (r *Replica) onSwitchRequest(m *types.SwitchInstance) {
 	coord.Propose(&types.Batch{Txns: []types.Transaction{tx}})
 }
 
+// emit records a flight event attributed to this replica.
+func (r *Replica) emit(kind flight.Kind, inst types.InstanceID, view types.View, seq, detail uint64) {
+	r.cfg.Metrics.Emit(uint16(r.env.ID()), flight.SubRCC, kind, uint32(inst), uint64(view), seq, detail)
+}
+
 // onDecision receives one BCA instance decision (via instEnv.Deliver).
 func (r *Replica) onDecision(inst types.InstanceID, d sm.Decision) {
 	st := r.states[inst]
@@ -437,6 +443,7 @@ func (r *Replica) onDecision(inst types.InstanceID, d sm.Decision) {
 		return
 	}
 	st.decided[d.Round] = d
+	r.emit(flight.KInstanceDecide, inst, d.View, uint64(d.Round), 0)
 	if st.decidedAt != nil {
 		st.decidedAt[d.Round] = r.env.Now()
 	}
@@ -515,6 +522,7 @@ func (r *Replica) tryExecute() {
 		if met != nil {
 			met.Unified.Inc()
 		}
+		r.emit(flight.KWaveUnify, 0, 0, uint64(r.execRound), uint64(len(slots)))
 		r.roundsExecuted++
 		r.execRound++
 	}

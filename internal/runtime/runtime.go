@@ -12,12 +12,15 @@ package runtime
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/quorum"
 	"repro/internal/sm"
 	"repro/internal/statesync"
@@ -55,6 +58,38 @@ type JournalOptions struct {
 	// blocks when App implements store.Snapshotter (0 disables periodic
 	// checkpoints; RCC's dynamic checkpoints still persist on demand).
 	SnapshotEvery uint64
+}
+
+// FlightOptions tunes the black-box flight recorder's runtime hooks. All
+// thresholds follow the same convention: zero means the default, negative
+// disables the hook.
+type FlightOptions struct {
+	// StallThreshold is how long the event loop may fail to service a
+	// watchdog probe before a loop_stalled event is recorded and
+	// rcc_loop_stalls_total increments (default 500ms). One event fires per
+	// stall episode, not per probe interval.
+	StallThreshold time.Duration
+	// FsyncStallThreshold is the WAL commit-point latency above which an
+	// fsync_stall event is recorded, detail = latency in nanoseconds
+	// (default 250ms). Requires async journaling (the commit hook).
+	FsyncStallThreshold time.Duration
+	// MirrorInterval is the period of the crash-safe ring mirror written to
+	// <DataDir>/flight.bin (default 2s; requires DataDir). kill -9 then
+	// loses at most one interval of events; a sticky durability failure
+	// additionally dumps synchronously.
+	MirrorInterval time.Duration
+}
+
+func (o *FlightOptions) defaults() {
+	if o.StallThreshold == 0 {
+		o.StallThreshold = 500 * time.Millisecond
+	}
+	if o.FsyncStallThreshold == 0 {
+		o.FsyncStallThreshold = 250 * time.Millisecond
+	}
+	if o.MirrorInterval == 0 {
+		o.MirrorInterval = 2 * time.Second
+	}
 }
 
 // StateSyncOptions groups the checkpoint-based state-transfer tunables.
@@ -119,6 +154,9 @@ type Config struct {
 	Journaling JournalOptions
 	// StateSync configures the state-transfer subsystem.
 	StateSync StateSyncOptions
+	// Flight tunes the flight recorder's watchdog, fsync-stall detector,
+	// and crash-safe disk mirror (the recorder itself lives in Metrics).
+	Flight FlightOptions
 	// Exec tunes the conflict-aware parallel execution engine.
 	Exec ExecOptions
 	// QueueDepth bounds the inbound event queue (default 4096).
@@ -160,6 +198,8 @@ type Replica struct {
 	delivered uint64
 	executed  uint64
 	durErr    error
+
+	stallCount atomic.Uint64 // watchdog-detected event-loop stall episodes
 }
 
 type event struct {
@@ -180,6 +220,7 @@ func New(cfg Config) (*Replica, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4096
 	}
+	cfg.Flight.defaults()
 	r := &Replica{
 		cfg:     cfg,
 		events:  make(chan event, cfg.QueueDepth),
@@ -192,7 +233,18 @@ func New(cfg Config) (*Replica, error) {
 		var onCommit func(records int, bytes int64, took time.Duration)
 		if cfg.Metrics != nil {
 			fsync := cfg.Metrics.WALFsync
-			onCommit = func(_ int, _ int64, took time.Duration) { fsync.Observe(took) }
+			met := cfg.Metrics
+			id := uint16(cfg.ID)
+			stall := cfg.Flight.FsyncStallThreshold
+			onCommit = func(_ int, _ int64, took time.Duration) {
+				fsync.Observe(took)
+				if stall > 0 && took >= stall {
+					// The disk held up a commit point long enough to matter:
+					// leave a breadcrumb the post-mortem timeline can line up
+					// against demotions and view changes.
+					met.Emit(id, flight.SubStore, flight.KFsyncStall, 0, 0, 0, uint64(took))
+				}
+			}
 		}
 		dl, err := store.Open(cfg.DataDir, store.Options{
 			Sync:               cfg.Journaling.Sync,
@@ -261,6 +313,9 @@ func (r *Replica) registerMetrics() {
 		}
 		return 0
 	})
+	reg.CounterFunc("rcc_loop_stalls_total", rl, "event-loop stall episodes detected by the watchdog", func() float64 {
+		return float64(r.stallCount.Load())
+	})
 	if dl := r.durable; dl != nil {
 		reg.CounterFunc("wal_appends_total", rl, "WAL records appended", func() float64 {
 			appends, _ := dl.WAL().Stats()
@@ -292,6 +347,31 @@ func (r *Replica) logf(format string, args ...any) {
 	}
 }
 
+// flight returns the replica's flight recorder (nil when metrics are off).
+func (r *Replica) flight() *flight.Recorder {
+	if r.cfg.Metrics == nil {
+		return nil
+	}
+	return r.cfg.Metrics.Flight
+}
+
+// emit records one flight event attributed to this replica.
+func (r *Replica) emit(sub flight.Sub, kind flight.Kind, seq, detail uint64) {
+	r.cfg.Metrics.Emit(uint16(r.cfg.ID), sub, kind, 0, 0, seq, detail)
+}
+
+// dumpFlight persists the ring to <DataDir>/flight.bin — the black box a
+// post-mortem reads when the process (or its admin endpoint) is gone.
+func (r *Replica) dumpFlight() {
+	fr := r.flight()
+	if fr == nil || r.cfg.DataDir == "" {
+		return
+	}
+	if err := fr.WriteFile(filepath.Join(r.cfg.DataDir, flight.FileName), uint16(r.cfg.ID)); err != nil {
+		r.logf("runtime: flight dump failed: %v", err)
+	}
+}
+
 // initStateSync wires the checkpoint-based state-transfer subsystem when
 // configured and the machine supports it. The manager's goroutines start in
 // Run (after the transport is attached).
@@ -312,6 +392,7 @@ func (r *Replica) initStateSync() {
 		RetryInterval: r.cfg.StateSync.Retry,
 		SteadyProbe:   r.cfg.StateSync.SteadyProbe,
 		Source:        r.cfg.StateSync.Source,
+		Flight:        r.flight(),
 	}, statesync.Host{
 		Send: func(to types.ReplicaID, m types.Message) {
 			if r.trans != nil {
@@ -459,10 +540,19 @@ func (j durableJournal) AppendAsync(batch *types.Batch, proof ledger.Proof, stat
 
 func (r *Replica) setDurErr(err error) {
 	r.mu.Lock()
-	if r.durErr == nil {
+	first := r.durErr == nil
+	if first {
 		r.durErr = err
 	}
 	r.mu.Unlock()
+	if !first {
+		return
+	}
+	// Poisoning is terminal for this process: record the event first so it
+	// is part of the dump, then persist the ring synchronously — the
+	// periodic mirror may never get another turn.
+	r.emit(flight.SubStore, flight.KDurabilityPoison, 0, 0)
+	r.dumpFlight()
 }
 
 // DurabilityErr returns the first journaling or checkpointing failure (nil
@@ -584,8 +674,94 @@ func (r *Replica) DeliverClient(from types.ClientID, m types.Message) {
 func (r *Replica) Run() {
 	r.wg.Add(1)
 	go r.loop()
+	if th := r.cfg.Flight.StallThreshold; th > 0 && r.cfg.Metrics != nil {
+		r.wg.Add(1)
+		go r.watchdog(th)
+	}
+	if iv := r.cfg.Flight.MirrorInterval; iv > 0 && r.flight() != nil && r.cfg.DataDir != "" {
+		r.wg.Add(1)
+		go r.mirrorFlight(iv)
+	}
 	if r.sync != nil {
 		r.sync.Start()
+	}
+}
+
+// watchdog detects a wedged event loop: it enqueues a probe event and
+// measures how long the loop takes to service it. A probe outstanding past
+// the threshold records one loop_stalled flight event (detail = observed
+// delay in nanoseconds) and one rcc_loop_stalls_total increment; the episode
+// is not re-reported until the probe finally drains, so a 10-second wedge is
+// one event, not twenty.
+func (r *Replica) watchdog(threshold time.Duration) {
+	defer r.wg.Done()
+	interval := threshold / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	ack := make(chan struct{}, 1)
+	probe := event{fn: func() {
+		select {
+		case ack <- struct{}{}:
+		default:
+		}
+	}}
+	var sentAt time.Time // zero: no probe outstanding
+	enqueued := false    // probe handed to the queue (false while it is full)
+	reported := false
+	for {
+		select {
+		case <-r.stopped:
+			return
+		case <-tick.C:
+		}
+		select {
+		case <-ack:
+			sentAt, enqueued, reported = time.Time{}, false, false
+		default:
+		}
+		if sentAt.IsZero() {
+			sentAt = time.Now()
+		}
+		if !enqueued {
+			// A full queue is itself the backlog being measured: keep the
+			// clock running from the first attempt and retry the enqueue.
+			select {
+			case r.events <- probe:
+				enqueued = true
+			default:
+			}
+		}
+		if el := time.Since(sentAt); el >= threshold && !reported {
+			reported = true
+			r.stallCount.Add(1)
+			r.emit(flight.SubRuntime, flight.KLoopStall, 0, uint64(el))
+		}
+	}
+}
+
+// mirrorFlight periodically persists the ring to <DataDir>/flight.bin so an
+// abrupt death (kill -9, OOM) still leaves a recent event prefix on disk.
+// Quiet periods skip the write; a clean stop takes one final mirror.
+func (r *Replica) mirrorFlight(interval time.Duration) {
+	defer r.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	fr := r.flight()
+	var last uint64
+	for {
+		select {
+		case <-r.stopped:
+			r.dumpFlight()
+			return
+		case <-tick.C:
+			if h := fr.Head(); h != last {
+				last = h
+				r.dumpFlight()
+			}
+		}
 	}
 }
 
@@ -689,7 +865,9 @@ func (r *Replica) saveSnapshot() {
 	}
 	if err := r.durable.Snapshot(snapper.Snapshot()); err != nil {
 		r.setDurErr(err)
+		return
 	}
+	r.emit(flight.SubStore, flight.KSnapshotCommit, r.durable.Memory().Height(), 0)
 }
 
 // replicaEnv implements sm.Env on top of the process.

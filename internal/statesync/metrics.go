@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // RegisterMetrics exposes the manager's transfer counters in reg, polled at
@@ -32,6 +33,16 @@ func (m *Manager) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("statesync_transfer_seconds_total", rl, "wall time spent in successful transfers", func() float64 {
 		return float64(m.Stats().TransferNanos) / 1e9
 	})
+	// One series per refusal cause, same codes the flight recorder's
+	// offer_reject events carry — a spike here and a timeline entry name the
+	// identical failure.
+	for c := flight.RejectNoQuorum; c <= flight.RejectOvercount; c++ {
+		cause := c
+		reg.CounterFunc("statesync_reject_cause_total",
+			fmt.Sprintf(`reason="%s",replica="%d"`, cause, m.cfg.Self),
+			"refusals by cause (attestation, chunk, or range verification)",
+			stat(func(s Stats) uint64 { return s.RejectCauses[cause] }))
+	}
 	reg.GaugeFunc("statesync_synced", rl, "1 once the replica is verified at the cluster head", func() float64 {
 		if m.Synced() {
 			return 1

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/ledger"
+	"repro/internal/obs/flight"
 	"repro/internal/store"
 	"repro/internal/types"
 )
@@ -98,6 +99,9 @@ type Config struct {
 	// used only while it is part of the attesting set, and the fetcher
 	// still rotates away from it on failure.
 	Source types.ReplicaID
+	// Flight, when set, receives sync-phase transitions and refusal causes
+	// as structured events (nil disables recording).
+	Flight *flight.Recorder
 }
 
 func (c *Config) defaults() {
@@ -188,6 +192,11 @@ type Stats struct {
 	InstallFailed  uint64 // installs that errored
 	TransferNanos  uint64 // wall time spent in successful transfers
 	InstalledSnaps uint64 // installs that included a snapshot (vs range-only)
+	// RejectCauses counts refusals by flight.Reject code (index = code), so
+	// "why did this transfer stall" is answerable from /metrics without
+	// correlating log lines: no_quorum vs truncated_chunk vs digest_mismatch
+	// vs chain-shape causes are separate series.
+	RejectCauses [int(flight.RejectOvercount) + 1]uint64
 }
 
 type inMsg struct {
@@ -218,6 +227,10 @@ type Manager struct {
 	once   sync.Once
 
 	synced atomic.Bool // last pass found the replica at the attested head
+
+	// lastPhase deduplicates KSyncPhase events; only the fetcher goroutine
+	// touches it.
+	lastPhase flight.Phase
 
 	mu    sync.Mutex
 	stats Stats
@@ -283,6 +296,32 @@ func (m *Manager) bump(f func(*Stats)) {
 	m.mu.Lock()
 	f(&m.stats)
 	m.mu.Unlock()
+}
+
+// emit records one flight event attributed to this replica; a nil recorder
+// is a no-op.
+func (m *Manager) emit(kind flight.Kind, seq, detail uint64) {
+	m.cfg.Flight.Record(uint16(m.cfg.Self), flight.SubStateSync, kind, 0, 0, seq, detail)
+}
+
+// setPhase records a sync-phase transition; repeats of the current phase are
+// suppressed so steady-state probing does not flood the ring. Only the
+// fetcher goroutine calls it.
+func (m *Manager) setPhase(ph flight.Phase, seq uint64) {
+	if ph == m.lastPhase {
+		return
+	}
+	m.lastPhase = ph
+	m.emit(flight.KSyncPhase, seq, uint64(ph))
+}
+
+// reject records one refusal under its cause: the cause-labeled counter and
+// a flight event carry the same code, so the metric spike and the timeline
+// entry name the same failure. seq carries the height (or, for no_quorum,
+// the number of unattested offers) for context.
+func (m *Manager) reject(cause flight.Reject, seq uint64) {
+	m.bump(func(s *Stats) { s.RejectCauses[cause]++ })
+	m.emit(flight.KOfferReject, seq, uint64(cause))
 }
 
 func (m *Manager) logf(format string, args ...any) {
@@ -537,6 +576,7 @@ var errNoOffers = fmt.Errorf("statesync: no offers received")
 // is at the attested head or no attested target exists yet, and an error
 // when a transfer was needed but could not be completed.
 func (m *Manager) syncPass() (bool, error) {
+	m.setPhase(flight.PhaseProbe, m.host.Ledger().Height())
 	target, sources, info := m.probe()
 	if !info.attested {
 		if info.sawHigher {
@@ -559,6 +599,7 @@ func (m *Manager) syncPass() (bool, error) {
 		// idle cluster that never needed a transfer.
 		if info.responses >= m.cfg.Attest {
 			m.synced.Store(true)
+			m.setPhase(flight.PhaseSynced, m.host.Ledger().Height())
 		}
 		return false, nil
 	}
@@ -568,15 +609,18 @@ func (m *Manager) syncPass() (bool, error) {
 	local, anchor := m.host.Ledger().Tip()
 	if target.Height <= local {
 		m.synced.Store(true)
+		m.setPhase(flight.PhaseSynced, local)
 		return false, nil
 	}
 	m.synced.Store(false)
+	m.setPhase(flight.PhaseBehind, target.Height)
 	m.logf("statesync: behind (local %d, attested head %d from %d peers) — fetching", local, target.Height, len(sources))
 
 	start := time.Now()
 	res := &Result{Target: target.Height, TargetHash: target.HeadHash, SyncPoint: target.SyncPoint}
 	from := local
 	if target.SnapHeight > local {
+		m.setPhase(flight.PhaseSnapshot, target.SnapHeight)
 		data, err := m.fetchSnapshot(target, sources)
 		if err != nil {
 			return false, err
@@ -591,11 +635,13 @@ func (m *Manager) syncPass() (bool, error) {
 		from = target.SnapHeight
 		anchor = target.SnapHeadHash
 	}
+	m.setPhase(flight.PhaseRange, from)
 	blocks, err := m.fetchRange(from, target.Height, anchor, target.HeadHash, sources)
 	if err != nil {
 		return false, err
 	}
 	res.Blocks = blocks
+	m.setPhase(flight.PhaseInstall, target.Height)
 	if err := m.install(res); err != nil {
 		m.bump(func(s *Stats) { s.InstallFailed++ })
 		return false, err
@@ -705,7 +751,11 @@ gather:
 		}
 	}
 	if rejected > 0 {
-		m.bump(func(s *Stats) { s.OffersRejected += uint64(rejected) })
+		m.bump(func(s *Stats) {
+			s.OffersRejected += uint64(rejected)
+			s.RejectCauses[flight.RejectNoQuorum] += uint64(rejected)
+		})
+		m.emit(flight.KOfferReject, uint64(rejected), uint64(flight.RejectNoQuorum))
 	}
 	if best == nil {
 		return nil, nil, info
@@ -802,6 +852,7 @@ func (m *Manager) fetchSnapshot(t *types.StateOffer, sources []types.ReplicaID) 
 			// Truncated, padded, or mislabeled chunk: refuse it without
 			// touching anything and try the next source.
 			m.bump(func(s *Stats) { s.ChunksRefused++; s.SourceRotates++ })
+			m.reject(flight.RejectTruncated, chunk)
 			src++
 			continue
 		}
@@ -814,6 +865,7 @@ func (m *Manager) fetchSnapshot(t *types.StateOffer, sources []types.ReplicaID) 
 		// source): the attested digest is the arbiter, and the whole
 		// snapshot is refused.
 		m.bump(func(s *Stats) { s.ChunksRefused++ })
+		m.reject(flight.RejectDigest, t.SnapHeight)
 		return nil, fmt.Errorf("statesync: reassembled snapshot fails the attested digest")
 	}
 	return data, nil
@@ -851,12 +903,13 @@ func (m *Manager) fetchRange(from, to uint64, anchor types.Digest, headHash type
 		for _, enc := range got.Blocks {
 			rangeBytes += uint64(len(enc))
 		}
-		verified, nprev, err := verifyBlocks(got.Blocks, h, to, prev)
+		verified, nprev, cause, err := verifyBlocks(got.Blocks, h, to, prev)
 		if err != nil {
 			// Wrong-height, substituted, or malformed blocks: the chain
 			// check against the attested anchor caught it; rotate.
 			m.logf("statesync: refusing range from replica %d: %v", source, err)
 			m.bump(func(s *Stats) { s.RangesRefused++; s.SourceRotates++ })
+			m.reject(cause, h)
 			src++
 			continue
 		}
@@ -869,36 +922,38 @@ func (m *Manager) fetchRange(from, to uint64, anchor types.Digest, headHash type
 		// The range chained internally but does not end at the attested
 		// head: a consistent forgery of the entire suffix. Refuse it all.
 		m.bump(func(s *Stats) { s.RangesRefused++ })
+		m.reject(flight.RejectHeadMismatch, to)
 		return nil, fmt.Errorf("statesync: fetched range does not reach the attested head hash")
 	}
 	return blocks, nil
 }
 
 // verifyBlocks decodes and chain-checks one response's blocks, returning
-// the verified blocks and the new chain tip.
-func verifyBlocks(encoded [][]byte, from, to uint64, prev types.Digest) ([]*ledger.Block, types.Digest, error) {
+// the verified blocks, the new chain tip, and — on failure — the reject
+// cause the refusal is recorded under.
+func verifyBlocks(encoded [][]byte, from, to uint64, prev types.Digest) ([]*ledger.Block, types.Digest, flight.Reject, error) {
 	if uint64(len(encoded)) > to-from {
-		return nil, prev, fmt.Errorf("%d blocks answer a request for %d", len(encoded), to-from)
+		return nil, prev, flight.RejectOvercount, fmt.Errorf("%d blocks answer a request for %d", len(encoded), to-from)
 	}
 	blocks := make([]*ledger.Block, 0, len(encoded))
 	for i, enc := range encoded {
 		blk, err := ledger.DecodeBlock(enc)
 		if err != nil {
-			return nil, prev, err
+			return nil, prev, flight.RejectTruncated, err
 		}
 		if blk.Height != from+uint64(i) {
-			return nil, prev, fmt.Errorf("block %d has height %d, want %d", i, blk.Height, from+uint64(i))
+			return nil, prev, flight.RejectWrongHeight, fmt.Errorf("block %d has height %d, want %d", i, blk.Height, from+uint64(i))
 		}
 		if blk.PrevHash != prev {
-			return nil, prev, fmt.Errorf("block at height %d breaks the hash chain", blk.Height)
+			return nil, prev, flight.RejectChainBreak, fmt.Errorf("block at height %d breaks the hash chain", blk.Height)
 		}
 		if !blk.Proof.Digest.IsZero() && blk.Proof.Digest != blk.Batch.Digest() {
-			return nil, prev, fmt.Errorf("block at height %d carries a proof for a different batch", blk.Height)
+			return nil, prev, flight.RejectProof, fmt.Errorf("block at height %d carries a proof for a different batch", blk.Height)
 		}
 		prev = blk.Hash()
 		blocks = append(blocks, blk)
 	}
-	return blocks, prev, nil
+	return blocks, prev, 0, nil
 }
 
 // install hands the verified result to the event loop and waits.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/crypto/digestcache"
+	"repro/internal/obs/flight"
 	"repro/internal/types"
 )
 
@@ -88,6 +89,10 @@ type TCPConfig struct {
 	// VerifyObserve, when set, receives the queue+verify latency of every
 	// frame the verify pool completes (feeds the "verify" stage histogram).
 	VerifyObserve func(time.Duration)
+	// Flight, when set, receives link lifecycle events (connect, reconnect,
+	// demotion, auth failure, overflow drop) attributed to Self. Nil
+	// disables flight recording.
+	Flight *flight.Recorder
 }
 
 func (c *TCPConfig) defaults() {
@@ -448,6 +453,7 @@ func (t *TCP) readLoop(c net.Conn, dialed bool) {
 			}
 			if !t.verify(party, m, tag) {
 				t.authRejects.Add(1)
+				t.emit(flight.KAuthFail, 0, sourceID(hdr))
 				consecFails++
 				return
 			}
@@ -469,9 +475,19 @@ func (t *TCP) readLoop(c net.Conn, dialed bool) {
 			// cycles here; an honest-but-misconfigured dialer returns
 			// through its reconnect backoff.
 			t.authDemotions.Add(1)
+			t.emit(flight.KDemote, 0, sourceID(hdr))
 			return
 		}
 	}
+}
+
+// sourceID is the numeric identity of a connection's remote end for flight
+// event details: the replica id, or the client id for client links.
+func sourceID(hdr wireHeader) uint64 {
+	if hdr.isClient {
+		return uint64(hdr.client)
+	}
+	return uint64(hdr.replica)
 }
 
 func (t *TCP) verify(party uint32, m types.Message, tag []byte) bool {
@@ -484,6 +500,11 @@ func (t *TCP) verify(party uint32, m types.Message, tag []byte) bool {
 	*bp = payload[:0]
 	putBuf(bp)
 	return ok
+}
+
+// emit records a transport flight event attributed to this node.
+func (t *TCP) emit(kind flight.Kind, seq, detail uint64) {
+	t.cfg.Flight.Record(uint16(t.cfg.Self), flight.SubTransport, kind, 0, 0, seq, detail)
 }
 
 // Send implements Transport: enqueue-only, per-peer queue, backpressure on
@@ -601,6 +622,7 @@ func (q *peerQueue) enqueue(m types.Message) error {
 	}
 	if !q.connected.Load() {
 		q.t.peerDropped.Add(1)
+		q.t.emit(flight.KOverflowDrop, 1, uint64(q.id))
 		return nil
 	}
 	select {
@@ -655,6 +677,7 @@ func (q *peerQueue) run() {
 			now := time.Now()
 			if now.Before(nextDial) {
 				t.peerDropped.Add(uint64(count))
+				t.emit(flight.KOverflowDrop, uint64(count), uint64(q.id))
 				continue
 			}
 			c, err := net.DialTimeout("tcp", q.addr(), t.cfg.DialTimeout)
@@ -682,6 +705,9 @@ func (q *peerQueue) run() {
 			backoff = t.cfg.ReconnectBackoff
 			if everConnected {
 				t.reconnects.Add(1)
+				t.emit(flight.KReconnect, 0, uint64(q.id))
+			} else {
+				t.emit(flight.KConnect, 0, uint64(q.id))
 			}
 			everConnected = true
 			if t.cfg.IsClient {
@@ -703,6 +729,7 @@ func (q *peerQueue) run() {
 			nextDial = time.Now().Add(backoff)
 			backoff = min(2*backoff, t.cfg.ReconnectBackoffMax)
 			t.peerDropped.Add(uint64(count))
+			t.emit(flight.KDemote, uint64(count), uint64(q.id))
 			continue
 		}
 	}
@@ -840,6 +867,7 @@ func (q *connQueue) enqueue(m types.Message) {
 	case q.ch <- m:
 	default:
 		q.t.clientDropped.Add(1)
+		q.t.emit(flight.KOverflowDrop, 1, uint64(q.client))
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/crypto/digestcache"
+	"repro/internal/obs/flight"
 	"repro/internal/types"
 )
 
@@ -230,6 +231,14 @@ type inLink struct {
 	pending  chan *verifyTask
 }
 
+// sourceID is the link's remote identity for flight event details.
+func (l *inLink) sourceID() uint64 {
+	if l.isClient {
+		return uint64(l.client)
+	}
+	return uint64(l.replica)
+}
+
 // newInLink registers a link with the pool and starts its releaser.
 func (t *TCP) newInLink(c net.Conn, hdr wireHeader) *inLink {
 	l := &inLink{
@@ -302,10 +311,12 @@ func (l *inLink) release() {
 		for i, m := range task.msgs {
 			if !task.ok[i] {
 				t.authRejects.Add(1)
+				t.emit(flight.KAuthFail, 0, l.sourceID())
 				consecFails++
 				if !demoted && t.cfg.AuthFailLimit > 0 && consecFails >= t.cfg.AuthFailLimit {
 					demoted = true
 					t.authDemotions.Add(1)
+					t.emit(flight.KDemote, 0, l.sourceID())
 					l.conn.Close() // reader tears the link down; dialer side redials with backoff
 				}
 				continue

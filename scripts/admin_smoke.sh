@@ -2,9 +2,10 @@
 # Admin-endpoint smoke test: a real 4-node rccnode cluster over TCP with the
 # admin HTTP listener on, driven by rccclient, then scraped. Asserts that
 # /readyz goes 200 on every replica, that /metrics parses far enough to carry
-# the key series, and that the per-stage latency histograms actually observed
-# the transactions the client executed — the live-cluster acceptance check
-# for the observability layer. The cluster runs with -auth ds (signed frames,
+# the key series, that the per-stage latency histograms actually observed
+# the transactions the client executed, and that every replica's flight
+# recorder (/debug/events) captured protocol events — the live-cluster
+# acceptance check for the observability layer. The cluster runs with -auth ds (signed frames,
 # verify worker pool, digest cache), so the verify-stage histogram and the
 # verified-frames counter must move too — the CLI-level acceptance check for
 # the authentication layer.
@@ -112,5 +113,29 @@ fi
 
 # The lifecycle tracer must have sampled something.
 curl -fsS "http://127.0.0.1:7704/debug/trace" | head -n 5
+
+# The flight recorder must be populated on every replica: after this much
+# load each text dump has to carry protocol events (a decided round records
+# instance_decide + wave_unify under RCC; PBFT rounds record commits and
+# checkpoint adoptions) and end with the ?since= cursor for the next poll.
+for i in 0 1 2 3; do
+  EVENTS=$(curl -fsS "http://127.0.0.1:770$((i+4))/debug/events")
+  if ! grep -Eq 'instance_decide|wave_unify|checkpoint_adopt|snapshot_commit' <<<"$EVENTS"; then
+    echo "FAIL: replica $i /debug/events carries no protocol events:" >&2
+    head -n 10 <<<"$EVENTS" >&2
+    exit 1
+  fi
+  CURSOR=$(tail -n 1 <<<"$EVENTS")
+  if ! grep -Eq '^next=[0-9]+$' <<<"$CURSOR"; then
+    echo "FAIL: replica $i /debug/events dump does not end with a next= cursor: $CURSOR" >&2
+    exit 1
+  fi
+done
+echo "OK: /debug/events populated on all replicas ($(grep -c . <<<"$EVENTS") lines on replica 3)"
+
+# Incremental scrape: re-polling from the returned cursor must be valid and
+# ends with a cursor at least as large.
+NEXT=${CURSOR#next=}
+curl -fsS "http://127.0.0.1:7707/debug/events?since=$NEXT" | tail -n 1
 
 echo "admin smoke: PASS"
