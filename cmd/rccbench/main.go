@@ -7,13 +7,19 @@
 //	rccbench -exp all        # every flow-model experiment
 //	rccbench -exp fig8a      # one experiment
 //	rccbench -exp fig10      # simnet failure timeline (slower)
+//	rccbench -exp chaos      # randomized fault harness over live TCP (slow)
 //	rccbench -list           # list experiment IDs
+//
+// The chaos experiment takes extra flags: -seed, -nodes, -duration, -wan,
+// and -artifacts (where a failed run leaves its flight rings and merged
+// timeline). It exits non-zero when an invariant is violated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -21,6 +27,12 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment ID (see -list)")
 	list := flag.Bool("list", false, "list experiment IDs")
+	seed := flag.Int64("seed", 0, "chaos: fault schedule seed (same seed, same schedule)")
+	nodes := flag.Int("nodes", 4, "chaos: cluster size (4-7)")
+	duration := flag.Duration("duration", 5*time.Minute, "chaos: run length")
+	wan := flag.Bool("wan", false, "chaos: apply the five-region WAN latency profile")
+	artifacts := flag.String("artifacts", "", "chaos: directory for failure artifacts")
+	verbose := flag.Bool("v", false, "chaos: stream fault actions to stderr")
 	flag.Parse()
 
 	byID := map[string]func() *bench.Table{
@@ -43,6 +55,7 @@ func main() {
 		"fig1left", "fig1right", "fig6", "fig7left", "fig7right",
 		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
 		"fig9", "fig10", "exec", "statesync", "stages", "timeline", "crypto", "summary", "validate",
+		"chaos", // excluded from -exp all: minutes-long live-cluster run
 	}
 
 	if *list {
@@ -96,6 +109,20 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(t.Render())
+		case "chaos":
+			t, rep, err := bench.Chaos(bench.ChaosOptions{
+				Seed: *seed, Nodes: *nodes, Duration: *duration,
+				WAN: *wan, ArtifactDir: *artifacts, Verbose: *verbose,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(t.Render())
+			fmt.Println(rep.Summary())
+			if !rep.Passed() {
+				os.Exit(1)
+			}
 		case "summary":
 			fmt.Println(bench.Summary().Render())
 		case "validate":
@@ -117,6 +144,9 @@ func main() {
 
 	if *exp == "all" {
 		for _, id := range order {
+			if id == "chaos" {
+				continue
+			}
 			runOne(id)
 		}
 		return

@@ -130,6 +130,7 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable storage directory: journal decided blocks through a WAL and resume from it on restart")
 		syncMode = flag.String("sync", "group", "WAL durability with -data-dir: group (batched fsync), always (fsync per block), none")
 		snapEach = flag.Uint64("snapshot-every", 1024, "persist an application checkpoint every N blocks with -data-dir (0 off)")
+		walPrune = flag.Bool("wal-prune", false, "with -data-dir and -snapshot-every: reclaim WAL segments below each persisted checkpoint; restart replays from the pinned checkpoint instead of genesis")
 		asyncJnl = flag.Bool("async-journal", true, "pipeline WAL fsyncs off the consensus event loop: client acks wait for durability, many blocks share each fsync")
 		jnlQueue = flag.Int("journal-queue", 0, "async journal: max blocks executed but not yet durable before execution back-pressures (0 = default 1024)")
 		jnlBatch = flag.Int64("journal-batch-bytes", 0, "async journal: max WAL bytes per fsync batch (0 = default 8 MiB)")
@@ -231,6 +232,7 @@ func main() {
 			QueueDepth:    *jnlQueue,
 			MaxBatchBytes: *jnlBatch,
 			SnapshotEvery: *snapEach,
+			PruneWAL:      *walPrune,
 		},
 		StateSync: runtime.StateSyncOptions{
 			Enabled:    *stateSyn && *dataDir != "",

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// ChaosOptions parameterizes the chaos experiment.
+type ChaosOptions struct {
+	Seed     int64
+	Nodes    int
+	Duration time.Duration
+	WAN      bool
+	// ArtifactDir receives flight rings and the merged timeline when the
+	// run fails (empty: no artifacts).
+	ArtifactDir string
+	// Verbose streams the fault driver's actions to stderr.
+	Verbose bool
+}
+
+// Chaos runs the randomized fault harness over a live loopback-TCP cluster
+// and reports the outcome as a table plus the full report (for the caller's
+// exit code and failure listing). The schedule is a pure function of the
+// seed: rerunning with the same seed and duration replays the same faults.
+func Chaos(o ChaosOptions) (*Table, *chaos.Report, error) {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Minute
+	}
+	cfg := chaos.Config{
+		Nodes:       o.Nodes,
+		Duration:    o.Duration,
+		Seed:        o.Seed,
+		WAN:         o.WAN,
+		ArtifactDir: o.ArtifactDir,
+	}
+	if o.Verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	verdict := "PASS"
+	if !rep.Passed() {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(rep.Failures))
+	}
+	t := &Table{
+		ID: "chaos",
+		Title: fmt.Sprintf("chaos harness: randomized kill/wipe/partition/disk faults over %d live TCP replicas",
+			rep.Nodes),
+		Header: []string{"seed", "duration", "events", "acked", "height", "restarts", "wipes",
+			"installs", "attested-rejoins", "verdict"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", rep.Seed),
+			rep.Duration.String(),
+			fmt.Sprintf("%d", len(rep.Schedule.Events)),
+			fmt.Sprintf("%d", rep.Acked),
+			fmt.Sprintf("%d", rep.Height),
+			fmt.Sprintf("%d", rep.Restarts),
+			fmt.Sprintf("%d", rep.Wipes),
+			fmt.Sprintf("%d", rep.Installs),
+			fmt.Sprintf("%d", rep.AttestedRejoins),
+			verdict,
+		}},
+	}
+	return t, rep, nil
+}

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kind is one fault class the harness can inject.
+type Kind uint8
+
+// Fault kinds. Every kind except Partition takes the node through a full
+// kill -9 and restart; they differ in what happens to its disk.
+const (
+	// Kill is abrupt process death with the data directory intact: the
+	// node restarts from its WAL and catches up through the protocol or a
+	// range-only state transfer.
+	Kill Kind = iota + 1
+	// Wipe is Kill plus rm -rf of the data directory before restart: the
+	// node comes back with nothing and must rebuild through a full
+	// snapshot state transfer.
+	Wipe
+	// Torn arms the torn-write failpoint before the kill: the active WAL
+	// segment loses its tail mid-record, and the restart must repair it
+	// by torn-tail truncation.
+	Torn
+	// FsyncFail arms the fsync-error failpoint while the node runs: its
+	// journal poisons itself (sticky fatal, acks stop), and at the episode
+	// end the node is killed, the failpoint healed, and the node restarted
+	// to replay whatever the WAL made durable before the poison.
+	FsyncFail
+	// Partition cuts every link between the node and its peers for the
+	// episode, then heals. The process never dies; retransmission and
+	// catch-up own recovery.
+	Partition
+)
+
+// String returns the kind's schedule-file name.
+func (k Kind) String() string {
+	switch k {
+	case Kill:
+		return "kill"
+	case Wipe:
+		return "wipe"
+	case Torn:
+		return "torn"
+	case FsyncFail:
+		return "fsync-fail"
+	case Partition:
+		return "partition"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one fault episode: the fault lands at At on Node and heals
+// (restart or partition heal) at End.
+type Event struct {
+	At   time.Duration
+	End  time.Duration
+	Kind Kind
+	Node int
+}
+
+// Schedule is a reproducible fault timeline. Events are sorted by At and
+// never disturb more than the generator's concurrency bound at once.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// String renders the schedule one episode per line.
+func (s Schedule) String() string {
+	out := fmt.Sprintf("schedule seed=%d events=%d\n", s.Seed, len(s.Events))
+	for _, e := range s.Events {
+		out += fmt.Sprintf("  %8s..%-8s %-10s node %d\n",
+			e.At.Round(time.Millisecond), e.End.Round(time.Millisecond), e.Kind, e.Node)
+	}
+	return out
+}
+
+// ScheduleConfig parameterizes Generate.
+type ScheduleConfig struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Duration is the full run length; no episode ends after
+	// Duration-Settle.
+	Duration time.Duration
+	// Seed makes the schedule reproducible: same config, same schedule.
+	Seed int64
+	// MeanGap is the mean time between fault injections (exponential).
+	// Default Duration/12, clamped to [2s, 20s].
+	MeanGap time.Duration
+	// MinDown/MaxDown bound each episode's length. Defaults 2s / 8s.
+	MinDown, MaxDown time.Duration
+	// Warmup is the fault-free prefix that lets the cluster form and take
+	// first load. Default 3s.
+	Warmup time.Duration
+	// Settle is the fault-free tail that gives the healed cluster time to
+	// reconverge under the harness's own verification. Default 8s.
+	Settle time.Duration
+	// MaxConcurrent bounds simultaneously disturbed nodes. Default (and
+	// cap) f = (Nodes-1)/3, so a quorum stays live by construction.
+	MaxConcurrent int
+}
+
+func (c *ScheduleConfig) defaults() {
+	if c.MeanGap <= 0 {
+		c.MeanGap = c.Duration / 12
+		if c.MeanGap < 2*time.Second {
+			c.MeanGap = 2 * time.Second
+		}
+		if c.MeanGap > 20*time.Second {
+			c.MeanGap = 20 * time.Second
+		}
+	}
+	if c.MinDown <= 0 {
+		c.MinDown = 2 * time.Second
+	}
+	if c.MaxDown <= c.MinDown {
+		c.MaxDown = c.MinDown + 6*time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 3 * time.Second
+	}
+	if c.Settle <= 0 {
+		c.Settle = 8 * time.Second
+	}
+	f := (c.Nodes - 1) / 3
+	if f < 1 {
+		f = 1
+	}
+	if c.MaxConcurrent <= 0 || c.MaxConcurrent > f {
+		c.MaxConcurrent = f
+	}
+}
+
+// kindWeights is the fault mix: process deaths dominate (they are the
+// common failure), wipes and partitions are frequent enough that every
+// default-seed run exercises state transfer and link healing, disk faults
+// ride along.
+var kindWeights = []struct {
+	kind   Kind
+	weight int
+}{
+	{Kill, 30},
+	{Wipe, 22},
+	{Partition, 25},
+	{Torn, 13},
+	{FsyncFail, 10},
+}
+
+// Generate builds a reproducible schedule: a pure function of cfg (the
+// driver does not consult the clock or any other ambient state), so a
+// failing run replays exactly from its seed. Episode starts follow an
+// exponential arrival process; each episode picks a fault kind by weight, a
+// duration uniform in [MinDown, MaxDown], and a node currently undisturbed
+// — skipping forward when the concurrency bound leaves no node free.
+func Generate(cfg ScheduleConfig) Schedule {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := Schedule{Seed: cfg.Seed}
+	busyUntil := make([]time.Duration, cfg.Nodes)
+	horizon := cfg.Duration - cfg.Settle
+
+	t := cfg.Warmup
+	for {
+		t += time.Duration(rng.ExpFloat64() * float64(cfg.MeanGap))
+		if t >= horizon {
+			break
+		}
+		down := cfg.MinDown + time.Duration(rng.Int63n(int64(cfg.MaxDown-cfg.MinDown)))
+		end := t + down
+		if end > horizon {
+			end = horizon
+		}
+		if end-t < cfg.MinDown/2 {
+			continue // too close to the tail to be worth injecting
+		}
+		// Respect the concurrency bound, then pick uniformly among free
+		// nodes. Draw the candidate before the checks so the rng stream —
+		// and therefore the rest of the schedule — does not depend on
+		// which episodes happened to be skipped.
+		candidate := rng.Intn(cfg.Nodes)
+		active := 0
+		for _, bu := range busyUntil {
+			if bu > t {
+				active++
+			}
+		}
+		if active >= cfg.MaxConcurrent || busyUntil[candidate] > t {
+			continue
+		}
+		kind := pickKind(rng)
+		busyUntil[candidate] = end
+		s.Events = append(s.Events, Event{At: t, End: end, Kind: kind, Node: candidate})
+	}
+	return s
+}
+
+func pickKind(rng *rand.Rand) Kind {
+	total := 0
+	for _, kw := range kindWeights {
+		total += kw.weight
+	}
+	n := rng.Intn(total)
+	for _, kw := range kindWeights {
+		if n < kw.weight {
+			return kw.kind
+		}
+		n -= kw.weight
+	}
+	return Kill
+}
+
+// DedupSchedule is the deterministic schedule provoking the
+// synced-replica-becomes-primary dedup hazard: node 0 — in RCC the primary
+// of instance 0, which keeps serving its assigned clients — is wiped
+// mid-run while those clients' retry timers keep retransmitting in-flight
+// requests. After the snapshot state transfer installs, node 0 resumes
+// proposing for instance 0; if the transferred per-client dedup floors were
+// not pushed back down into the instance, the retransmits would re-commit
+// already-delivered sequence numbers, which the monitor's duplicate check
+// catches.
+func DedupSchedule(duration time.Duration) Schedule {
+	third := duration / 3
+	return Schedule{
+		Seed: -1,
+		Events: []Event{
+			{At: third, End: third + third/2, Kind: Wipe, Node: 0},
+		},
+	}
+}

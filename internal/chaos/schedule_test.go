@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestGenerateIsDeterministic is the replay guarantee: the schedule is a
+// pure function of its config, so a failing chaos run reproduces from its
+// seed alone.
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := ScheduleConfig{Nodes: 7, Duration: 5 * time.Minute, Seed: 42}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("a 5-minute schedule generated no fault events")
+	}
+	c := Generate(ScheduleConfig{Nodes: 7, Duration: 5 * time.Minute, Seed: 43})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateRespectsBounds checks the structural invariants every
+// generated schedule must satisfy: events stay inside the warmup/settle
+// fences, episodes have positive length, nodes are in range, and the
+// number of simultaneously disturbed nodes never exceeds f — the bound
+// that keeps a quorum alive by construction.
+func TestGenerateRespectsBounds(t *testing.T) {
+	for _, nodes := range []int{4, 7, 10} {
+		cfg := ScheduleConfig{Nodes: nodes, Duration: 4 * time.Minute, Seed: 7}
+		cfg.defaults()
+		s := Generate(cfg)
+		f := (nodes - 1) / 3
+		horizon := cfg.Duration - cfg.Settle
+		for i, e := range s.Events {
+			if e.At < cfg.Warmup || e.End > horizon {
+				t.Fatalf("nodes=%d event %d [%s, %s] outside fences [%s, %s]",
+					nodes, i, e.At, e.End, cfg.Warmup, horizon)
+			}
+			if e.End <= e.At {
+				t.Fatalf("nodes=%d event %d has non-positive duration", nodes, i)
+			}
+			if e.Node < 0 || e.Node >= nodes {
+				t.Fatalf("nodes=%d event %d targets node %d", nodes, i, e.Node)
+			}
+			if e.Kind.String() == "" {
+				t.Fatalf("nodes=%d event %d has unnamed kind %d", nodes, i, e.Kind)
+			}
+			// Concurrency bound at this event's start.
+			active := 0
+			for j, other := range s.Events {
+				if j != i && other.At <= e.At && e.At < other.End {
+					active++
+				}
+			}
+			if active+1 > f {
+				t.Fatalf("nodes=%d: %d nodes disturbed at %s, bound is f=%d", nodes, active+1, e.At, f)
+			}
+		}
+		// No node is double-booked: each node's episodes must not overlap.
+		last := make(map[int]time.Duration)
+		for _, e := range s.Events {
+			if prev, ok := last[e.Node]; ok && e.At < prev {
+				t.Fatalf("nodes=%d: node %d disturbed again at %s before healing at %s", nodes, e.Node, e.At, prev)
+			}
+			last[e.Node] = e.End
+		}
+	}
+}
+
+// TestGenerateCoversKinds checks a long default-seed schedule exercises
+// every fault class — the point of weighting wipes and partitions high
+// enough that state transfer and link healing always run.
+func TestGenerateCoversKinds(t *testing.T) {
+	s := Generate(ScheduleConfig{Nodes: 7, Duration: 15 * time.Minute, Seed: 1})
+	seen := make(map[Kind]int)
+	for _, e := range s.Events {
+		seen[e.Kind]++
+	}
+	for _, k := range []Kind{Kill, Wipe, Torn, FsyncFail, Partition} {
+		if seen[k] == 0 {
+			t.Errorf("15-minute schedule never injected %s", k)
+		}
+	}
+}

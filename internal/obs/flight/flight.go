@@ -99,6 +99,8 @@ const (
 	// statesync
 	KSyncPhase   // phase transition; detail = Phase code
 	KOfferReject // snapshot/chunk/range refused; detail = Reject code
+	KCkptAttest  // checkpoint-boundary attestation formed; seq = height, detail = shares
+	KAttTarget   // attested-checkpoint target adopted by a fetch; seq = snap height
 
 	// runtime
 	KLoopStall // consensus event loop stopped draining; detail = stall ns
@@ -123,6 +125,8 @@ var kindNames = map[Kind]string{
 	KSnapshotCommit:   "snapshot_commit",
 	KSyncPhase:        "sync_phase",
 	KOfferReject:      "offer_reject",
+	KCkptAttest:       "ckpt_attest",
+	KAttTarget:        "att_target",
 	KLoopStall:        "loop_stalled",
 }
 

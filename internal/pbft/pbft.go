@@ -157,6 +157,13 @@ type Instance struct {
 	// compaction (amortization counter).
 	staleTxns int
 	lastSeq   map[types.ClientID]uint64
+	// syncSeq carries dedup floors established OUTSIDE this instance's own
+	// delivery prefix — RCC's composite delivery frontier, pushed down after
+	// a state-transfer install (MergeDeliveredSeqs). Kept apart from lastSeq
+	// because lastSeq is serialized into sync points and must stay a pure
+	// function of the delivered prefix (byte-identical across replicas at
+	// the same frontier); dedup checks consult the max of both.
+	syncSeq map[types.ClientID]uint64
 
 	// Checkpoints. chain is the incremental digest chain over the
 	// delivered prefix; chainAt records the chain value after each
@@ -195,6 +202,7 @@ func New(cfg Config) *Instance {
 		chainAt:    make(map[types.Round]types.Digest),
 		pendingSet: make(map[txKey]struct{}),
 		lastSeq:    make(map[types.ClientID]uint64),
+		syncSeq:    make(map[types.ClientID]uint64),
 		ckpVotes:   make(map[types.Round]map[types.Digest]map[types.ReplicaID]struct{}),
 		ckpBodies:  make(map[types.Round]map[types.ReplicaID][]types.AcceptedProposal),
 		vcVotes:    make(map[types.View]map[types.ReplicaID]*types.ViewChange),
@@ -389,7 +397,7 @@ func (p *Instance) requeueVoided(b *types.Batch, queued map[txKey]struct{}) {
 	}
 	for i := range b.Txns {
 		tx := b.Txns[i]
-		if tx.IsNoOp() || tx.Seq <= p.lastSeq[tx.Client] {
+		if tx.IsNoOp() || tx.Seq <= p.seqFloor(tx.Client) {
 			continue
 		}
 		key := txKey{tx.Client, tx.Seq}
@@ -474,7 +482,7 @@ func (p *Instance) OnMessage(from sm.Source, m types.Message) {
 
 // onClientRequest queues a request; the primary proposes a batch when full.
 func (p *Instance) onClientRequest(from sm.Source, m *types.ClientRequest) {
-	if m.Tx.IsNoOp() || m.Tx.Seq <= p.lastSeq[m.Tx.Client] {
+	if m.Tx.IsNoOp() || m.Tx.Seq <= p.seqFloor(m.Tx.Client) {
 		return // already executed or filler
 	}
 	key := txKey{m.Tx.Client, m.Tx.Seq}
@@ -683,6 +691,8 @@ func (p *Instance) markDelivered(b *types.Batch) {
 			continue
 		}
 		delete(p.pendingSet, txKey{tx.Client, tx.Seq})
+		// Only delivery advances lastSeq: it must remain a pure function of
+		// the delivered prefix (sync points serialize it).
 		if tx.Seq > p.lastSeq[tx.Client] {
 			p.lastSeq[tx.Client] = tx.Seq
 		}
@@ -698,7 +708,7 @@ func (p *Instance) markDelivered(b *types.Batch) {
 	kept := p.pending[:0]
 	for i := range p.pending {
 		tx := &p.pending[i]
-		if _, live := p.pendingSet[txKey{tx.Client, tx.Seq}]; live && tx.Seq > p.lastSeq[tx.Client] {
+		if _, live := p.pendingSet[txKey{tx.Client, tx.Seq}]; live && tx.Seq > p.seqFloor(tx.Client) {
 			kept = append(kept, *tx)
 		}
 	}
@@ -790,6 +800,17 @@ func (p *Instance) disarmTimer() {
 	p.env.CancelTimer(sm.TimerID{Instance: p.cfg.Instance, Kind: sm.TimerProgress})
 }
 
+// seqFloor is the per-client dedup floor: the highest sequence number known
+// executed, whether delivered by this instance (lastSeq) or established
+// externally through a state-transfer install (syncSeq).
+func (p *Instance) seqFloor(c types.ClientID) uint64 {
+	f := p.lastSeq[c]
+	if s := p.syncSeq[c]; s > f {
+		f = s
+	}
+	return f
+}
+
 // takeBatch pops up to max live transactions from the queue front, skipping
 // entries already delivered elsewhere (their pendingSet entry is gone).
 func (p *Instance) takeBatch(max int) []types.Transaction {
@@ -797,7 +818,7 @@ func (p *Instance) takeBatch(max int) []types.Transaction {
 	i := 0
 	for ; i < len(p.pending) && len(out) < max; i++ {
 		tx := p.pending[i]
-		if _, live := p.pendingSet[txKey{tx.Client, tx.Seq}]; !live || tx.Seq <= p.lastSeq[tx.Client] {
+		if _, live := p.pendingSet[txKey{tx.Client, tx.Seq}]; !live || tx.Seq <= p.seqFloor(tx.Client) {
 			continue
 		}
 		out = append(out, tx)

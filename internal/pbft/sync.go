@@ -6,10 +6,25 @@ package pbft
 // reach back to their last stable checkpoint, not to genesis — so the
 // statesync subsystem ships it the ledger itself and then installs the
 // matching machine frontier through InstallSyncPoint.
+//
+// Two serializations share one wire format:
+//
+//   - SyncPoint() captures the live frontier, including the per-client
+//     lastSeq dedup map. In standalone mode lastSeq is a pure function of
+//     the delivered prefix, so replicas at the same frontier serialize
+//     identically and the f+1 byte-identical offer quorum still forms.
+//   - BoundarySyncPointAt(r) captures the frontier as it stood when
+//     delivery crossed round r — the form attested at checkpoint
+//     boundaries. Quorum-timing-dependent fields (view, stableCkp,
+//     lastSeq — which in RCC mode advances at inner delivery, ahead of
+//     the wave frontier) are omitted; the composite dedup state travels
+//     at the RCC level instead and is pushed back down through
+//     MergeDeliveredSeqs at install.
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"repro/internal/types"
 )
@@ -17,28 +32,72 @@ import (
 // syncPointV1 tags the PBFT frontier serialization.
 const syncPointV1 = 1
 
-// syncPointLen is the fixed encoded size: version, view, deliver,
-// stableCkp, chain digest.
+// syncPointLen is the fixed prefix size: version, view, deliver, stableCkp,
+// chain digest. A v1 sync point is either exactly this long (legacy, no
+// dedup map) or extends it with a u32 count and count (client u32, seq u64)
+// pairs sorted by client.
 const syncPointLen = 1 + 8 + 8 + 8 + 32
 
 // SyncPoint implements sm.StateSyncable: the delivered frontier, the
-// checkpoint chain value it carries, and the view — everything a peer needs
-// to resume participation exactly where this replica stands. Deterministic:
+// checkpoint chain value it carries, the view, and the per-client dedup
+// map — everything a peer needs to resume participation exactly where this
+// replica stands without re-proposing delivered requests. Deterministic:
 // replicas with identical frontiers serialize identically.
 func (p *Instance) SyncPoint() []byte {
-	buf := make([]byte, 0, syncPointLen)
+	buf := make([]byte, 0, syncPointLen+4+12*len(p.lastSeq))
 	buf = append(buf, syncPointV1)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.view))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.deliver))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.stableCkp))
-	return append(buf, p.chain[:]...)
+	buf = append(buf, p.chain[:]...)
+	return appendSeqMap(buf, p.lastSeq)
+}
+
+// appendSeqMap appends a u32 count plus sorted (client u32, seq u64) pairs.
+func appendSeqMap(buf []byte, m map[types.ClientID]uint64) []byte {
+	clients := make([]types.ClientID, 0, len(m))
+	for c := range m {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(clients)))
+	for _, c := range clients {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+		buf = binary.BigEndian.AppendUint64(buf, m[c])
+	}
+	return buf
+}
+
+// parseSeqMap parses the suffix appendSeqMap wrote. The count is bounded by
+// the remaining bytes, so a hostile count cannot force a huge allocation.
+func parseSeqMap(b []byte) (map[types.ClientID]uint64, error) {
+	if len(b) == 0 {
+		return nil, nil // legacy fixed-length form
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("pbft: truncated sync point dedup map")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != 12*n {
+		return nil, fmt.Errorf("pbft: sync point dedup map length mismatch")
+	}
+	m := make(map[types.ClientID]uint64, n)
+	for i := 0; i < n; i++ {
+		c := types.ClientID(binary.BigEndian.Uint32(b[12*i:]))
+		m[c] = binary.BigEndian.Uint64(b[12*i+4:])
+	}
+	return m, nil
 }
 
 // ValidateSyncPoint implements sm.StateSyncable: format check only, no
 // mutation.
 func (p *Instance) ValidateSyncPoint(data []byte) error {
-	if len(data) != syncPointLen || data[0] != syncPointV1 {
+	if len(data) < syncPointLen || data[0] != syncPointV1 {
 		return fmt.Errorf("pbft: malformed sync point (%d bytes)", len(data))
+	}
+	if _, err := parseSeqMap(data[syncPointLen:]); err != nil {
+		return err
 	}
 	return nil
 }
@@ -46,7 +105,10 @@ func (p *Instance) ValidateSyncPoint(data []byte) error {
 // InstallSyncPoint implements sm.StateSyncable: jump the delivered frontier
 // to an attested install point. Rounds below it were installed through the
 // ledger; rounds at or above it keep whatever votes and commits accumulated
-// while the transfer ran and deliver in order from here.
+// while the transfer ran and deliver in order from here. Advisory fields
+// (view, stableCkp, dedup map) max-merge: a boundary-attested point carries
+// conservative zeros for them, and an install must never regress state the
+// replica accumulated on its own.
 func (p *Instance) InstallSyncPoint(data []byte) error {
 	if err := p.ValidateSyncPoint(data); err != nil {
 		return err
@@ -56,12 +118,26 @@ func (p *Instance) InstallSyncPoint(data []byte) error {
 	stable := types.Round(binary.BigEndian.Uint64(data[17:]))
 	var chain types.Digest
 	copy(chain[:], data[25:])
+	seqs, _ := parseSeqMap(data[syncPointLen:]) // validated above
+
+	// The blob's dedup map is the SOURCE's delivery-derived lastSeq, a pure
+	// function of the frontier being installed — it belongs in lastSeq (the
+	// serialized map), keeping installed replicas byte-identical with
+	// organic ones. Merged even when the frontier brings nothing new: it
+	// only ever prevents re-proposing delivered requests.
+	for c, s := range seqs {
+		if s > p.lastSeq[c] {
+			p.lastSeq[c] = s
+		}
+	}
 
 	if deliver <= p.deliver {
 		return nil // already at or past the install point
 	}
-	p.view = view
-	p.inViewChange = false
+	if view > p.view {
+		p.view = view
+		p.inViewChange = false
+	}
 	p.deliver = deliver
 	if p.next < deliver {
 		p.next = deliver
@@ -71,7 +147,9 @@ func (p *Instance) InstallSyncPoint(data []byte) error {
 	if deliver > p.resumeFloor {
 		p.resumeFloor = deliver
 	}
-	p.stableCkp = stable
+	if stable > p.stableCkp {
+		p.stableCkp = stable
+	}
 	p.chain = chain
 	p.chainAt = map[types.Round]types.Digest{deliver - 1: chain}
 	for r := range p.rounds {
@@ -90,6 +168,46 @@ func (p *Instance) InstallSyncPoint(data []byte) error {
 	// p.rounds: deliver them now that the frontier reaches them.
 	p.tryDeliver()
 	return nil
+}
+
+// BoundarySyncPointAt serializes the frontier as it stood when delivery
+// crossed round frontier (all rounds below delivered or voided): the form
+// every correct replica serializes byte-identically at a checkpoint
+// boundary regardless of how far its live state has run ahead. Returns nil
+// when the chain value at the boundary is no longer retained (GC'd past);
+// callers skip attestation for that boundary.
+func (p *Instance) BoundarySyncPointAt(frontier types.Round) []byte {
+	var chain types.Digest
+	if frontier > 1 {
+		c, ok := p.chainAt[frontier-1]
+		if !ok {
+			return nil
+		}
+		chain = c
+	}
+	buf := make([]byte, 0, syncPointLen+4)
+	buf = append(buf, syncPointV1)
+	buf = binary.BigEndian.AppendUint64(buf, 0) // view: quorum-timing dependent
+	buf = binary.BigEndian.AppendUint64(buf, uint64(frontier))
+	buf = binary.BigEndian.AppendUint64(buf, 0) // stableCkp: quorum-timing dependent
+	buf = append(buf, chain[:]...)
+	return binary.BigEndian.AppendUint32(buf, 0) // dedup map travels at the RCC level
+}
+
+// MergeDeliveredSeqs folds externally established per-client delivered
+// sequence numbers into the dedup floor (max-merge). RCC pushes its
+// composite delivery frontier down through this after a state-transfer
+// install, so a synced replica that becomes primary does not re-propose
+// delivered requests on client retransmit. The floors land in syncSeq, NOT
+// lastSeq: they cover deliveries from OTHER instances, so folding them into
+// the serialized map would make this instance's sync point differ from
+// organically-progressed replicas at the same frontier.
+func (p *Instance) MergeDeliveredSeqs(seqs map[types.ClientID]uint64) {
+	for c, s := range seqs {
+		if s > p.syncSeq[c] {
+			p.syncSeq[c] = s
+		}
+	}
 }
 
 // reportSyncGap asks the runtime for a state transfer when in-protocol

@@ -164,6 +164,15 @@ type Replica struct {
 	assign   map[types.ClientID]types.InstanceID
 	switches map[types.ClientID]*switchSched
 
+	// delivered is the composite per-client dedup frontier: the highest
+	// sequence number per client that wave unification has EXECUTED (not
+	// merely decided inside an instance). Unlike the inner instances'
+	// lastSeq maps — which advance at inner delivery, ahead of the wave
+	// frontier and at quorum-dependent speeds — this map is a pure function
+	// of the delivery prefix, so it is identical across replicas at the
+	// same block height and safe to ship in boundary-attested sync points.
+	delivered map[types.ClientID]uint64
+
 	coordSeq uint64
 
 	// stats
@@ -177,9 +186,10 @@ var _ sm.Machine = (*Replica)(nil)
 // environment at Start.
 func New(cfg Config) *Replica {
 	return &Replica{
-		cfg:      cfg,
-		assign:   make(map[types.ClientID]types.InstanceID),
-		switches: make(map[types.ClientID]*switchSched),
+		cfg:       cfg,
+		assign:    make(map[types.ClientID]types.InstanceID),
+		switches:  make(map[types.ClientID]*switchSched),
+		delivered: make(map[types.ClientID]uint64),
 	}
 }
 
@@ -506,6 +516,7 @@ func (r *Replica) tryExecute() {
 		}
 		ord := ExecutionOrder(digests, r.cfg.UnpredictableOrdering)
 		for _, p := range ord {
+			r.noteDelivered(slots[p].dec.Batch)
 			r.env.Deliver(slots[p].dec)
 		}
 		met := r.cfg.Metrics
@@ -525,6 +536,32 @@ func (r *Replica) tryExecute() {
 		r.emit(flight.KWaveUnify, 0, 0, uint64(r.execRound), uint64(len(slots)))
 		r.roundsExecuted++
 		r.execRound++
+		// A cadence snapshot that came due mid-wave persists here, at the
+		// wave boundary: the ledger head and the boundary sync point
+		// describe the same deterministic instant on every replica, which is
+		// what lets f+1 of them attest the checkpoint byte-identically.
+		if due, ok := r.env.(sm.DeferredCheckpointer); ok && due.CheckpointDue() {
+			if sink, ok := r.env.(sm.CheckpointSink); ok {
+				sink.PersistCheckpoint()
+			}
+		}
+	}
+}
+
+// noteDelivered advances the composite dedup frontier for every client
+// transaction the wave just executed.
+func (r *Replica) noteDelivered(b *types.Batch) {
+	if b == nil {
+		return
+	}
+	for i := range b.Txns {
+		tx := &b.Txns[i]
+		if tx.IsNoOp() {
+			continue
+		}
+		if tx.Seq > r.delivered[tx.Client] {
+			r.delivered[tx.Client] = tx.Seq
+		}
 	}
 }
 

@@ -74,6 +74,26 @@ func (r *Replica) SyncPoint() []byte {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(s.to))
 		buf = binary.BigEndian.AppendUint64(buf, uint64(s.activeAfter))
 	}
+	// Composite per-client dedup frontier (pure function of the delivery
+	// prefix), sorted for determinism. A synced replica that becomes primary
+	// must know which sequence numbers already executed, or a client
+	// retransmission would be re-proposed and double-delivered.
+	return appendDelivered(buf, r.delivered)
+}
+
+// appendDelivered appends a u32 count plus sorted (client u32, seq u64)
+// pairs.
+func appendDelivered(buf []byte, m map[types.ClientID]uint64) []byte {
+	clients := make([]types.ClientID, 0, len(m))
+	for c := range m {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(clients)))
+	for _, c := range clients {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+		buf = binary.BigEndian.AppendUint64(buf, m[c])
+	}
 	return buf
 }
 
@@ -144,6 +164,7 @@ type rccSyncState struct {
 	insts      []rccSyncInst
 	assign     map[types.ClientID]types.InstanceID
 	switches   map[types.ClientID]*switchSched
+	delivered  map[types.ClientID]uint64
 }
 
 type rccSyncInst struct {
@@ -199,6 +220,15 @@ func parseRCCSyncPoint(data []byte, m int) (*rccSyncState, error) {
 			activeAfter: types.Round(rd.u64()),
 		}
 	}
+	n = int(rd.u32())
+	if rd.err == nil && n > len(rd.b)/12 {
+		return nil, fmt.Errorf("rcc: malformed sync point dedup map")
+	}
+	st.delivered = make(map[types.ClientID]uint64, n)
+	for i := 0; i < n && rd.err == nil; i++ {
+		c := types.ClientID(rd.u32())
+		st.delivered[c] = rd.u64()
+	}
 	if rd.err != nil {
 		return nil, rd.err
 	}
@@ -252,6 +282,19 @@ func (r *Replica) InstallSyncPoint(data []byte) error {
 	if err := r.validateParsed(sp); err != nil {
 		return err
 	}
+	// Max-merge the dedup frontier even when the execution frontier brings
+	// nothing new, and push it into every instance: it only ever prevents
+	// re-proposing already-executed requests.
+	for c, s := range sp.delivered {
+		if s > r.delivered[c] {
+			r.delivered[c] = s
+		}
+	}
+	for _, st := range r.states {
+		if merger, ok := st.inst.(seqMerger); ok {
+			merger.MergeDeliveredSeqs(sp.delivered)
+		}
+	}
 	if sp.execRound <= r.execRound {
 		return nil // already at or past the install point
 	}
@@ -297,4 +340,84 @@ func (r *Replica) InstallSyncPoint(data []byte) error {
 	return nil
 }
 
+// seqMerger is the per-instance capability of pushing externally-established
+// delivered sequence numbers into the dedup map (pbft.MergeDeliveredSeqs).
+type seqMerger interface {
+	MergeDeliveredSeqs(map[types.ClientID]uint64)
+}
+
+// boundarySerializer is the per-instance capability of serializing the
+// frontier as it stood when delivery crossed a given round
+// (pbft.BoundarySyncPointAt).
+type boundarySerializer interface {
+	BoundarySyncPointAt(types.Round) []byte
+}
+
+// BoundarySyncPoint implements sm.BoundarySyncable: the frontier as it
+// stands at the current wave boundary, serialized from delivery-derived
+// state only. Quorum-timing-dependent fields are normalized — per-instance
+// lastDec and the replica's maxDecided collapse to execRound-1, inner
+// frontiers serialize through BoundarySyncPointAt(execRound), views and
+// stable checkpoints to zero — so every correct replica whose ledger stands
+// at the same wave boundary produces identical bytes while consensus keeps
+// running. Recovery bookkeeping (voidBelow, stops, startedAt, the coord
+// frontier) is stable between recoveries; a boundary captured while a
+// recovery is mid-flight may serialize differently across replicas, fail to
+// gather f+1 matching shares, and simply go unattested — attestation is
+// best-effort per boundary, and the next quiet boundary attests.
+func (r *Replica) BoundarySyncPoint() []byte {
+	buf := make([]byte, 0, 64+64*len(r.states))
+	buf = append(buf, rccSyncPointV1)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.execRound))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.execRound-1)) // maxDecided, normalized
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.states)))
+	for _, st := range r.states {
+		inner, ok := st.inst.(boundarySerializer)
+		if !ok {
+			return nil
+		}
+		isp := inner.BoundarySyncPointAt(r.execRound)
+		if isp == nil {
+			return nil
+		}
+		csp := st.coord.BoundarySyncPointAt(st.coord.Delivered())
+		if csp == nil {
+			return nil
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(st.voidBelow))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.execRound-1)) // lastDec, normalized
+		buf = binary.BigEndian.AppendUint32(buf, uint32(st.stops))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(st.startedAt))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(isp)))
+		buf = append(buf, isp...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(csp)))
+		buf = append(buf, csp...)
+	}
+	clients := make([]types.ClientID, 0, len(r.assign))
+	for c := range r.assign {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(clients)))
+	for _, c := range clients {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(r.assign[c]))
+	}
+	pending := make([]types.ClientID, 0, len(r.switches))
+	for c := range r.switches {
+		pending = append(pending, c)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(pending)))
+	for _, c := range pending {
+		s := r.switches[c]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(s.from))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(s.to))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(s.activeAfter))
+	}
+	return appendDelivered(buf, r.delivered)
+}
+
 var _ sm.StateSyncable = (*Replica)(nil)
+var _ sm.BoundarySyncable = (*Replica)(nil)

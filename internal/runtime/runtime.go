@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/crypto"
 	"repro/internal/exec"
 	"repro/internal/ledger"
 	"repro/internal/obs"
@@ -58,6 +59,15 @@ type JournalOptions struct {
 	// blocks when App implements store.Snapshotter (0 disables periodic
 	// checkpoints; RCC's dynamic checkpoints still persist on demand).
 	SnapshotEvery uint64
+	// PruneWAL reclaims write-ahead-log segments made redundant by each
+	// persisted checkpoint (see store.Options.PruneWAL): recovery replays
+	// snapshot + suffix, so disk usage stays proportional to the
+	// checkpoint interval instead of total history.
+	PruneWAL bool
+	// Failpoints, when non-nil, injects disk faults into the WAL
+	// (fsync-error, torn-write; see wal.Failpoints). Chaos/test wiring
+	// only.
+	Failpoints *wal.Failpoints
 }
 
 // FlightOptions tunes the black-box flight recorder's runtime hooks. All
@@ -114,6 +124,12 @@ type StateSyncOptions struct {
 	OfferWait   time.Duration
 	Retry       time.Duration
 	SteadyProbe time.Duration
+	// AttestScheme enables checkpoint-boundary attestation when the
+	// machine implements sm.BoundarySyncable: replicas exchange threshold
+	// shares over each checkpoint, and a fetcher accepts one
+	// aggregate-verified offer when load keeps f+1 byte-identical offers
+	// from forming. All replicas must share the scheme's group secret.
+	AttestScheme *crypto.ThresholdScheme
 }
 
 // ExecOptions groups the execution-engine tunables.
@@ -199,6 +215,26 @@ type Replica struct {
 	executed  uint64
 	durErr    error
 
+	// replies caches recent client replies so a retransmit of an already
+	// executed request is answered instead of silently deduplicated — the
+	// classic PBFT resend rule. Without it a client whose replies were
+	// lost (replica restart, partition, dropped link) retransmits forever
+	// into replicas that all drop the request below their dedup floor,
+	// and the client's window slot wedges permanently.
+	replies struct {
+		sync.Mutex
+		m map[types.ClientID]*replyRing
+	}
+
+	// snapDue defers a cadence-triggered checkpoint to the machine's next
+	// delivery boundary (sm.BoundarySyncable machines only; event-loop
+	// state, no lock). The cadence fires MID-wave — inside Deliver — where
+	// different replicas observe different in-flight frontiers; the machine
+	// consumes the flag at the wave boundary (sm.DeferredCheckpointer), the
+	// one point where its frontier is a pure function of the delivery
+	// prefix and a checkpoint can be attested across replicas.
+	snapDue bool
+
 	stallCount atomic.Uint64 // watchdog-detected event-loop stall episodes
 }
 
@@ -252,6 +288,8 @@ func New(cfg Config) (*Replica, error) {
 			AsyncQueueDepth:    cfg.Journaling.QueueDepth,
 			AsyncMaxBatchBytes: cfg.Journaling.MaxBatchBytes,
 			AsyncOnCommit:      onCommit,
+			PruneWAL:           cfg.Journaling.PruneWAL,
+			Failpoints:         cfg.Journaling.Failpoints,
 			Identity:           fmt.Sprintf("replica-%d", cfg.ID),
 		})
 		if err != nil {
@@ -392,6 +430,7 @@ func (r *Replica) initStateSync() {
 		RetryInterval: r.cfg.StateSync.Retry,
 		SteadyProbe:   r.cfg.StateSync.SteadyProbe,
 		Source:        r.cfg.StateSync.Source,
+		AttestScheme:  r.attestScheme(),
 		Flight:        r.flight(),
 	}, statesync.Host{
 		Send: func(to types.ReplicaID, m types.Message) {
@@ -415,6 +454,20 @@ func (r *Replica) initStateSync() {
 		},
 		Logf: r.logf,
 	})
+}
+
+// attestScheme returns the checkpoint-attestation scheme to wire into the
+// state-transfer manager: configured AND usable (the machine must serialize
+// boundary frontiers, or no checkpoint could ever be attested).
+func (r *Replica) attestScheme() *crypto.ThresholdScheme {
+	if r.cfg.StateSync.AttestScheme == nil {
+		return nil
+	}
+	if _, ok := r.cfg.Machine.(sm.BoundarySyncable); !ok {
+		r.logf("runtime: machine %T cannot serialize boundary frontiers; checkpoint attestation disabled", r.cfg.Machine)
+		return nil
+	}
+	return r.cfg.StateSync.AttestScheme
 }
 
 // StateSync returns the state-transfer manager (nil unless Config.StateSync
@@ -662,6 +715,18 @@ func (r *Replica) DeliverReplica(from types.ReplicaID, m types.Message) {
 
 // DeliverClient implements transport.Endpoint.
 func (r *Replica) DeliverClient(from types.ClientID, m types.Message) {
+	// A retransmit of a request this replica already executed and answered
+	// is resent its cached reply instead of entering the event loop: the
+	// machine would only drop it below the dedup floor, leaving a client
+	// that lost the original reply stuck retransmitting forever.
+	if req, ok := m.(*types.ClientRequest); ok && r.cfg.ReplyToClients {
+		if reply := r.cachedReply(req.Tx.Client, req.Tx.Seq); reply != nil {
+			if r.trans != nil {
+				_ = r.trans.SendClient(reply.Client, reply)
+			}
+			return
+		}
+	}
 	select {
 	case r.events <- event{from: sm.FromClient(from), msg: m}:
 	case <-r.stopped:
@@ -847,6 +912,34 @@ func (r *Replica) Stop() {
 	}
 }
 
+// Kill shuts the replica down the way kill -9 would: the event loop stops,
+// but the durable store closes abruptly — in-flight async appends are
+// dropped without their final fsync (and an armed torn-write failpoint
+// fires), deferred client acks never flush — so only state the WAL already
+// made durable survives into the next incarnation. Peers observe exactly
+// what a process death looks like: sockets torn down mid-stream.
+func (r *Replica) Kill() {
+	r.stopOnce.Do(func() {
+		close(r.stopped)
+		r.timers.Lock()
+		for _, t := range r.timers.m {
+			t.Stop()
+		}
+		r.timers.Unlock()
+	})
+	r.wg.Wait()
+	r.engine.Close()
+	if r.sync != nil {
+		r.sync.Stop()
+	}
+	if r.durable != nil {
+		r.durable.CloseAbrupt()
+	}
+	if r.trans != nil {
+		r.trans.Close()
+	}
+}
+
 // saveSnapshot persists an application checkpoint at the current chain
 // head. Must run on the event loop (the application is single-threaded).
 func (r *Replica) saveSnapshot() {
@@ -868,6 +961,19 @@ func (r *Replica) saveSnapshot() {
 		return
 	}
 	r.emit(flight.SubStore, flight.KSnapshotCommit, r.durable.Memory().Height(), 0)
+	// Attest the fresh checkpoint at its delivery boundary: when the machine
+	// can serialize a boundary frontier, every replica checkpointing this
+	// height signs identical bytes, and f+1 shares make the snapshot a
+	// single-offer state-transfer target even under load. saveSnapshot runs
+	// on the event loop for boundary-syncable machines only at the boundary
+	// (CheckpointDue), so the frontier read here IS the boundary frontier.
+	if r.sync != nil {
+		if b, ok := r.cfg.Machine.(sm.BoundarySyncable); ok {
+			if bsp := b.BoundarySyncPoint(); bsp != nil {
+				r.sync.AttestCheckpoint(r.durable.LatestSnapshot(), bsp)
+			}
+		}
+	}
 }
 
 // replicaEnv implements sm.Env on top of the process.
@@ -962,7 +1068,14 @@ func (e *replicaEnv) Deliver(d sm.Decision) {
 	}
 	if r.cfg.Journaling.SnapshotEvery > 0 && res.Block != nil &&
 		(res.Block.Height+1)%r.cfg.Journaling.SnapshotEvery == 0 {
-		r.saveSnapshot()
+		if _, ok := r.cfg.Machine.(sm.BoundarySyncable); ok {
+			// Heights land mid-wave; a boundary-syncable machine drains the
+			// flag at the end of the wave (CheckpointDue → PersistCheckpoint)
+			// so the checkpoint lands where the frontier is deterministic.
+			r.snapDue = true
+		} else {
+			r.saveSnapshot()
+		}
 	}
 	if r.cfg.Journaling.Async && r.durable != nil {
 		return // replies ride on the durability callback
@@ -984,9 +1097,59 @@ func traceBatch(met *obs.NodeMetrics, batch *types.Batch, p obs.TracePoint) {
 	}
 }
 
+// replyCacheWindow bounds the per-client reply cache. It needs to cover a
+// client's pipeline window (so every in-flight seq stays answerable);
+// clients here run windows of a few transactions, so 16 is ample.
+const replyCacheWindow = 16
+
+// replyRing holds a client's most recent replies, keyed by sequence.
+type replyRing struct {
+	max uint64
+	m   map[uint64]*types.ClientReply
+}
+
+// cacheReply remembers a sent reply for retransmit resends, evicting
+// replies that fell out of the cache window.
+func (r *Replica) cacheReply(reply *types.ClientReply) {
+	r.replies.Lock()
+	defer r.replies.Unlock()
+	if r.replies.m == nil {
+		r.replies.m = make(map[types.ClientID]*replyRing)
+	}
+	ring := r.replies.m[reply.Client]
+	if ring == nil {
+		ring = &replyRing{m: make(map[uint64]*types.ClientReply)}
+		r.replies.m[reply.Client] = ring
+	}
+	ring.m[reply.Seq] = reply
+	if reply.Seq > ring.max {
+		ring.max = reply.Seq
+		for s := range ring.m {
+			if s+replyCacheWindow <= ring.max {
+				delete(ring.m, s)
+			}
+		}
+	}
+}
+
+// cachedReply returns the remembered reply for (c, seq), or nil.
+func (r *Replica) cachedReply(c types.ClientID, seq uint64) *types.ClientReply {
+	r.replies.Lock()
+	defer r.replies.Unlock()
+	ring := r.replies.m[c]
+	if ring == nil {
+		return nil
+	}
+	return ring.m[seq]
+}
+
 // ackClients answers the clients covered by a decided, executed, durable
-// batch: one reply per client, f+1 identical replies prove the outcome.
-// Safe off the event loop — it reads only immutable decision state.
+// batch: one reply per executed (client, seq) pair — not just each
+// client's newest, because when one batch carries two requests of the same
+// client the older one still has a waiting client slot that completes only
+// on f+1 replies naming its exact sequence. f+1 identical replies prove
+// the outcome. Safe off the event loop — it reads only immutable decision
+// state.
 func (e *replicaEnv) ackClients(d sm.Decision, res exec.Result) {
 	r := e.r
 	if !r.cfg.ReplyToClients {
@@ -998,27 +1161,32 @@ func (e *replicaEnv) ackClients(d sm.Decision, res exec.Result) {
 	if r.DurabilityErr() != nil {
 		return
 	}
-	seen := make(map[types.ClientID]uint64)
+	type ackKey struct {
+		c   types.ClientID
+		seq uint64
+	}
+	met := r.cfg.Metrics
+	sent := make(map[ackKey]struct{}, len(d.Batch.Txns))
 	for i := range d.Batch.Txns {
 		tx := &d.Batch.Txns[i]
 		if tx.IsNoOp() {
 			continue
 		}
-		if s, ok := seen[tx.Client]; !ok || tx.Seq > s {
-			seen[tx.Client] = tx.Seq
+		k := ackKey{tx.Client, tx.Seq}
+		if _, dup := sent[k]; dup {
+			continue
 		}
-	}
-	met := r.cfg.Metrics
-	for c, seq := range seen {
+		sent[k] = struct{}{}
 		reply := &types.ClientReply{
-			Replica: r.cfg.ID, Client: c, Seq: seq,
+			Replica: r.cfg.ID, Client: tx.Client, Seq: tx.Seq,
 			Round: d.Round, Result: res.ResultHash, Count: d.Batch.Len(),
 		}
 		reply.Inst = d.Instance
-		e.SendClient(c, reply)
+		r.cacheReply(reply)
+		e.SendClient(tx.Client, reply)
 		if met != nil {
 			met.Acks.Inc()
-			met.Trace(uint64(c), seq, obs.PointAck)
+			met.Trace(uint64(tx.Client), tx.Seq, obs.PointAck)
 		}
 	}
 }
@@ -1060,6 +1228,15 @@ func (e *replicaEnv) Suspect(inst types.InstanceID, round types.Round) {
 // loop (machines emit effects from their own loop), so touching the
 // application is safe.
 func (e *replicaEnv) PersistCheckpoint() { e.r.saveSnapshot() }
+
+// CheckpointDue implements sm.DeferredCheckpointer: it consumes the
+// cadence flag Deliver set mid-wave, so a boundary-syncable machine takes
+// exactly one checkpoint per trigger, at its next delivery boundary.
+func (e *replicaEnv) CheckpointDue() bool {
+	due := e.r.snapDue
+	e.r.snapDue = false
+	return due
+}
 
 func (e *replicaEnv) Logf(format string, args ...any) { e.r.logf(format, args...) }
 

@@ -33,6 +33,12 @@ type Config struct {
 	Latency time.Duration
 	// Jitter adds a uniform random [0, Jitter) component per message.
 	Jitter time.Duration
+	// LatencyMatrix, when non-nil, gives the base one-way latency of each
+	// directed replica link, indexed [from][to]; it overrides Latency for
+	// replica-to-replica messages (client links keep the global base).
+	// Jitter applies on top either way. WANLatencyMatrix builds a
+	// geo-distributed preset.
+	LatencyMatrix [][]time.Duration
 	// BandwidthBps is each replica's outgoing bandwidth in bits per
 	// second; 0 means infinite (no serialization delay).
 	BandwidthBps float64
@@ -272,9 +278,21 @@ func (n *Network) RunSteps(max int) int {
 	return count
 }
 
-// latency computes the one-way delay for the next message.
-func (n *Network) latency() time.Duration {
+// latency computes the one-way delay of the next message on the from→to
+// replica link.
+func (n *Network) latency(from, to types.ReplicaID) time.Duration {
 	d := n.cfg.Latency
+	if m := n.cfg.LatencyMatrix; int(from) < len(m) && int(to) < len(m[from]) {
+		d = m[from][to]
+	}
+	return n.jittered(d)
+}
+
+// clientLatency is the one-way delay on client links; latency matrices
+// cover only replica links, so clients always use the global base.
+func (n *Network) clientLatency() time.Duration { return n.jittered(n.cfg.Latency) }
+
+func (n *Network) jittered(d time.Duration) time.Duration {
 	if n.cfg.Jitter > 0 {
 		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
@@ -282,8 +300,8 @@ func (n *Network) latency() time.Duration {
 }
 
 // transmit models occupancy of from's outgoing link and returns the arrival
-// time of a message of size bytes.
-func (n *Network) transmit(from *Node, bytes int) time.Duration {
+// time of a message of size bytes whose propagation delay is lat.
+func (n *Network) transmit(from *Node, bytes int, lat time.Duration) time.Duration {
 	start := n.clock
 	if n.cfg.BandwidthBps > 0 {
 		if from.linkFreeAt > start {
@@ -293,7 +311,7 @@ func (n *Network) transmit(from *Node, bytes int) time.Duration {
 		from.linkFreeAt = start + ser
 		start = from.linkFreeAt
 	}
-	return start + n.latency()
+	return start + lat
 }
 
 func (n *Network) trace(format string, args ...any) {
@@ -359,7 +377,7 @@ func (nd *Node) Send(to types.ReplicaID, m types.Message) {
 		nd.net.trace("%v drop %s %d->%d", nd.net.clock, m.Type(), nd.id, to)
 		return
 	}
-	arrival := nd.net.transmit(nd, m.WireSize())
+	arrival := nd.net.transmit(nd, m.WireSize(), nd.net.latency(nd.id, to))
 	nd.net.msgsSent++
 	nd.net.bytesSent += uint64(m.WireSize())
 	nd.net.msgsByType[m.Type()]++
@@ -381,7 +399,7 @@ func (nd *Node) SendClient(c types.ClientID, m types.Message) {
 	if nd.net.cfg.DropClient != nil && nd.net.cfg.DropClient(nd.id, c, m) {
 		return
 	}
-	arrival := nd.net.transmit(nd, m.WireSize())
+	arrival := nd.net.transmit(nd, m.WireSize(), nd.net.clientLatency())
 	nd.net.msgsSent++
 	nd.net.bytesSent += uint64(m.WireSize())
 	nd.net.msgsByType[m.Type()]++
@@ -445,7 +463,7 @@ func (c *ClientNode) Params() quorum.Params { return c.net.params }
 // Send implements sm.ClientEnv. Client uplinks are not bandwidth-modeled
 // (the paper saturates replica links, not client links).
 func (c *ClientNode) Send(to types.ReplicaID, m types.Message) {
-	arrival := c.net.clock + c.net.latency()
+	arrival := c.net.clock + c.net.clientLatency()
 	c.net.push(&event{at: arrival, kind: evMessage, to: to, from: sm.FromClient(c.id), msg: m})
 }
 

@@ -1,0 +1,40 @@
+package simnet
+
+// WAN profile: a per-link latency preset modeling a geo-distributed
+// deployment. Both network backends consume the same matrix — simnet
+// through Config.LatencyMatrix, and the live TCP harness by installing
+// each entry as a constant link delay in its fault matrix — so an
+// experiment's "wan" flag means the same geography in simulation and
+// over real sockets.
+
+import "time"
+
+// wanRegions is the region-to-region one-way latency model, in the spirit
+// of a five-region cloud deployment (us-east, us-west, eu-west,
+// ap-northeast, ap-south). Values are one-way, symmetric, and include a
+// small intra-region floor.
+var wanRegions = [5][5]time.Duration{
+	{1 * time.Millisecond, 32 * time.Millisecond, 38 * time.Millisecond, 82 * time.Millisecond, 98 * time.Millisecond},
+	{32 * time.Millisecond, 1 * time.Millisecond, 70 * time.Millisecond, 55 * time.Millisecond, 112 * time.Millisecond},
+	{38 * time.Millisecond, 70 * time.Millisecond, 1 * time.Millisecond, 105 * time.Millisecond, 60 * time.Millisecond},
+	{82 * time.Millisecond, 55 * time.Millisecond, 105 * time.Millisecond, 1 * time.Millisecond, 65 * time.Millisecond},
+	{98 * time.Millisecond, 112 * time.Millisecond, 60 * time.Millisecond, 65 * time.Millisecond, 1 * time.Millisecond},
+}
+
+// WANLatencyMatrix returns an n×n one-way latency matrix for a cluster
+// whose replicas are spread round-robin across five geographic regions:
+// replica i lives in region i mod 5. Suitable for Config.LatencyMatrix or
+// for seeding per-link transport delays in a live cluster.
+func WANLatencyMatrix(n int) [][]time.Duration {
+	m := make([][]time.Duration, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+		for j := range m[i] {
+			if i == j {
+				continue // self-delivery is local
+			}
+			m[i][j] = wanRegions[i%5][j%5]
+		}
+	}
+	return m
+}

@@ -197,6 +197,41 @@ type StateSyncable interface {
 	InstallSyncPoint(data []byte) error
 }
 
+// BoundarySyncable is optionally implemented by StateSyncable machines
+// whose live frontier is NOT deterministic at a ledger height (RCC: inner
+// instances and the coordinating consensus run ahead of the wave-unified
+// delivery frontier, at quorum-dependent speeds). BoundarySyncPoint
+// serializes the frontier as it stands at the machine's current delivery
+// boundary — a pure function of the delivery prefix — so every correct
+// replica serializes identical bytes when its ledger stands at the same
+// height, no quiescence required. That is the property checkpoint-boundary
+// attestation rests on: f+1 replicas each sign their own serialization at
+// snapshot time, and the shares only combine when the bytes agree.
+//
+// A machine implementing this interface also takes over the periodic
+// checkpoint cadence: the runtime defers cadence-triggered snapshots
+// (CheckpointDue) and the machine persists them at its next delivery
+// boundary via CheckpointSink, so the snapshot and the boundary sync point
+// describe the same instant.
+type BoundarySyncable interface {
+	StateSyncable
+	// BoundarySyncPoint serializes the delivery-boundary frontier, in the
+	// same wire format InstallSyncPoint accepts. Returns nil when the
+	// boundary cannot be serialized right now (e.g. a checkpoint chain
+	// value at the boundary was garbage-collected, or a recovery is in
+	// flight); callers then skip attestation for this boundary.
+	BoundarySyncPoint() []byte
+}
+
+// DeferredCheckpointer is optionally implemented by an Env whose runtime
+// defers cadence snapshots to machine-announced delivery boundaries (see
+// BoundarySyncable). CheckpointDue consumes the pending-cadence flag: it
+// returns true at most once per cadence trigger, and the machine responds
+// by calling CheckpointSink.PersistCheckpoint at its current boundary.
+type DeferredCheckpointer interface {
+	CheckpointDue() bool
+}
+
 // StateSyncRequester is optionally implemented by an Env whose runtime can
 // run checkpoint-based state transfer. Machines call it when they detect
 // they are in the dark beyond what in-protocol catch-up can bridge — e.g. a

@@ -40,8 +40,18 @@
 // cost is that peers mid-view-change or mid-checkpoint-exchange briefly
 // serialize different frontiers and no f+1 group forms; the fetcher treats
 // that as a retryable condition (RetryInterval) and converges as soon as
-// the peers do. Recovery therefore needs a quiescent-enough cluster — the
-// same assumption PBFT's own view synchronization makes.
+// the peers do.
+//
+// That byte-identity requirement only converges on a quiescent-enough
+// cluster — under sustained load the peers' live heads never agree. The
+// checkpoint-boundary attestation path (attest.go) removes the quiescence
+// assumption: replicas exchange threshold shares over each snapshot at its
+// deterministic delivery boundary, combine f+1 of them into an aggregate
+// their offers carry, and a fetcher that verifies the aggregate can trust a
+// SINGLE offer. When no byte-identical group forms, the fetcher falls back
+// to the best attested checkpoint, installs snapshot plus boundary
+// frontier, and bridges checkpoint→head through in-protocol catch-up while
+// the cluster keeps deciding.
 //
 // # Threading
 //
@@ -60,6 +70,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/crypto"
 	"repro/internal/ledger"
 	"repro/internal/obs/flight"
 	"repro/internal/store"
@@ -99,6 +110,16 @@ type Config struct {
 	// used only while it is part of the attesting set, and the fetcher
 	// still rotates away from it on failure.
 	Source types.ReplicaID
+	// AttestScheme, when set, enables checkpoint-boundary attestation
+	// (attest.go): the manager exchanges threshold shares over each local
+	// snapshot's boundary digest, attaches the formed aggregate to its
+	// offers, and accepts a single aggregate-verified offer as a fetch
+	// target when no byte-identical f+1 group forms. Nil disables both
+	// sides.
+	AttestScheme *crypto.ThresholdScheme
+	// AttestQuorum is how many shares form an aggregate (default: Attest,
+	// i.e. f+1).
+	AttestQuorum int
 	// Flight, when set, receives sync-phase transitions and refusal causes
 	// as structured events (nil disables recording).
 	Flight *flight.Recorder
@@ -128,6 +149,9 @@ func (c *Config) defaults() {
 	}
 	if c.Attest <= 0 {
 		c.Attest = 1
+	}
+	if c.AttestQuorum <= 0 {
+		c.AttestQuorum = c.Attest
 	}
 }
 
@@ -192,6 +216,11 @@ type Stats struct {
 	InstallFailed  uint64 // installs that errored
 	TransferNanos  uint64 // wall time spent in successful transfers
 	InstalledSnaps uint64 // installs that included a snapshot (vs range-only)
+	// Checkpoint-boundary attestation counters (attest.go).
+	AttestationsFormed uint64 // f+1-share aggregates formed over local checkpoints
+	AttSharesRejected  uint64 // peer shares refused (bad share or digest mismatch)
+	AttOffersRejected  uint64 // offers whose aggregate failed verification
+	AttestedTargets    uint64 // fetch targets chosen via the attested-offer path
 	// RejectCauses counts refusals by flight.Reject code (index = code), so
 	// "why did this transfer stall" is answerable from /metrics without
 	// correlating log lines: no_quorum vs truncated_chunk vs digest_mismatch
@@ -240,18 +269,26 @@ type Manager struct {
 	// so pointer identity is the generation key).
 	offerSnap *store.Snapshot
 	offerHash types.Digest
+	// Checkpoint-boundary attestation state (attest.go), all under mu:
+	// share accumulators for checkpoints this replica took, early shares
+	// for checkpoints it has not reached, and the newest formed aggregate.
+	attLocals  map[uint64]*attLocal
+	attPending map[uint64]map[uint32]pendingShare
+	attDone    *attDone
 }
 
 // New creates a Manager; Start launches its goroutines.
 func New(cfg Config, host Host) *Manager {
 	cfg.defaults()
 	return &Manager{
-		cfg:    cfg,
-		host:   host,
-		serveQ: make(chan serveReq, 64),
-		fetchQ: make(chan inMsg, 128),
-		kickQ:  make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		cfg:        cfg,
+		host:       host,
+		serveQ:     make(chan serveReq, 64),
+		fetchQ:     make(chan inMsg, 128),
+		kickQ:      make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		attLocals:  make(map[uint64]*attLocal),
+		attPending: make(map[uint64]map[uint32]pendingShare),
 	}
 }
 
@@ -337,7 +374,8 @@ func (m *Manager) logf(format string, args ...any) {
 func (m *Manager) HandleMessage(from types.ReplicaID, isClient bool, msg types.Message) bool {
 	switch msg.(type) {
 	case *types.SnapshotRequest, *types.BlockRangeRequest,
-		*types.StateOffer, *types.SnapshotChunk, *types.BlockRange:
+		*types.StateOffer, *types.SnapshotChunk, *types.BlockRange,
+		*types.CheckpointAttest:
 	default:
 		return false
 	}
@@ -357,6 +395,14 @@ func (m *Manager) HandleMessage(from types.ReplicaID, isClient bool, msg types.M
 	case *types.BlockRangeRequest:
 		select {
 		case m.serveQ <- serveReq{from: from, msg: msg}:
+		default:
+		}
+	case *types.CheckpointAttest:
+		// Share verification is HMAC work — keep it off the event loop. A
+		// full queue drops the share; the sender's boundary simply counts
+		// one attester fewer here.
+		select {
+		case m.serveQ <- serveReq{fn: func() { m.handleAttestShare(from, v) }}:
 		default:
 		}
 	default: // StateOffer, SnapshotChunk, BlockRange
@@ -405,6 +451,11 @@ func (m *Manager) serveOffer(to types.ReplicaID) {
 	task := serveReq{fn: func() {
 		if snap != nil {
 			offer.SnapAppHash = m.snapHash(snap)
+			// Attach the boundary attestation only when it covers exactly
+			// this snapshot generation — serveChunk can serve no other.
+			if bsp, att := m.attestationFor(snap); att != nil {
+				offer.AttSyncPoint, offer.Att = bsp, att
+			}
 		}
 		m.bump(func(s *Stats) { s.OffersServed++ })
 		m.host.Send(to, offer)
@@ -674,6 +725,13 @@ type offerKey struct {
 	syncPoint       string
 }
 
+// keyOf deliberately EXCLUDES AttSyncPoint and Att: two honest replicas
+// combine their aggregates from whichever f+1 shares reached them first, so
+// those bytes legitimately differ even when every attested field agrees —
+// folding them in would dissolve every byte-identical group the moment
+// attestation is enabled. They do not need identity protection here: the
+// legacy path never reads them, and the fallback path verifies each offer's
+// aggregate cryptographically on its own.
 func keyOf(o *types.StateOffer) offerKey {
 	return offerKey{
 		snapHeight:      o.SnapHeight,
@@ -758,6 +816,17 @@ gather:
 		m.emit(flight.KOfferReject, uint64(rejected), uint64(flight.RejectNoQuorum))
 	}
 	if best == nil {
+		// No byte-identical group — the cluster is deciding and the live
+		// heads disagree. Fall back to the best checkpoint-boundary
+		// attested offer: its aggregate proves f+1 replicas signed exactly
+		// these snapshot fields, so one offer suffices as a target. The
+		// synthetic target reaches the checkpoint, not the head; the pass
+		// installs it and in-protocol catch-up bridges the rest.
+		if t, srcs := m.attestedTarget(offers, local); t != nil {
+			info.attested = true
+			sortReplicas(srcs, m.cfg.Source)
+			return t, srcs, info
+		}
 		return nil, nil, info
 	}
 	info.attested = true

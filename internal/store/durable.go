@@ -50,6 +50,16 @@ type Options struct {
 	// its chain is this replica's voting history). Empty skips the
 	// ownership check but still stamps and checks the format version.
 	Identity string
+	// PruneWAL reclaims WAL segments below each persisted checkpoint: every
+	// Snapshot(H) rolls the active segment and prunes the records the
+	// checkpoint summarizes, leaving the log rebased to exactly H (the same
+	// invariant a state-transfer install establishes). Long-running replicas
+	// need it to keep disk usage proportional to the checkpoint interval
+	// instead of the chain length.
+	PruneWAL bool
+	// Failpoints, when non-nil, injects disk faults into the WAL (see
+	// wal.Failpoints). Chaos/test wiring only.
+	Failpoints *wal.Failpoints
 }
 
 // DurableLedger wraps the in-memory hash-chained ledger with durability:
@@ -89,6 +99,7 @@ func Open(dir string, opts Options) (*DurableLedger, error) {
 	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
 		SegmentBytes: opts.SegmentBytes,
 		Sync:         opts.Sync,
+		Failpoints:   opts.Failpoints,
 	})
 	if err != nil {
 		return nil, err
@@ -294,7 +305,32 @@ func (d *DurableLedger) Snapshot(appState []byte) error {
 	d.mu.Lock()
 	d.snap = snap
 	d.mu.Unlock()
+	if d.opts.PruneWAL {
+		d.pruneWAL(snap.Height)
+	}
 	return nil
+}
+
+// pruneWAL reclaims the records checkpoint height h summarizes: roll the
+// active segment so a boundary lands exactly after record h (block h-1),
+// then drop every whole segment below it. When the prune lands the base at
+// exactly h (it always does unless an append slipped between the head read
+// and the roll), the checkpoint is pinned so retention can never delete the
+// only record of the summarized prefix — the invariant Open's rebase path
+// checks. A prune that cannot advance the base is skipped silently: it is a
+// space optimization, never a correctness requirement.
+func (d *DurableLedger) pruneWAL(h uint64) {
+	if err := d.log.Roll(); err != nil {
+		return
+	}
+	if err := d.log.Prune(h + 1); err != nil {
+		return
+	}
+	if d.log.Base()-1 == h {
+		d.mu.Lock()
+		d.snaps.Pin(h)
+		d.mu.Unlock()
+	}
 }
 
 // RestoreApp brings app to the chain head's state: from the latest

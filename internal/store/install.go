@@ -161,6 +161,7 @@ func (d *DurableLedger) InstallState(snap *Snapshot, blocks []*ledger.Block) err
 		SegmentBytes: d.opts.SegmentBytes,
 		Sync:         d.opts.Sync,
 		FirstIndex:   snap.Height + 1,
+		Failpoints:   d.opts.Failpoints,
 	})
 	if err != nil {
 		return err
@@ -218,6 +219,7 @@ func (d *DurableLedger) InstallState(snap *Snapshot, blocks []*ledger.Block) err
 	log, err := wal.Open(filepath.Join(d.dir, walDirName), wal.Options{
 		SegmentBytes: d.opts.SegmentBytes,
 		Sync:         d.opts.Sync,
+		Failpoints:   d.opts.Failpoints,
 	})
 	if err != nil {
 		return err

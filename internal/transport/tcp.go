@@ -93,6 +93,11 @@ type TCPConfig struct {
 	// demotion, auth failure, overflow drop) attributed to Self. Nil
 	// disables flight recording.
 	Flight *flight.Recorder
+	// Faults, when set, injects link faults (partition drops, per-link
+	// delays) at the send and delivery boundaries — see faults.go. The
+	// chaos harness shares one matrix across an in-process cluster; nil
+	// (production) injects nothing and costs one nil check per message.
+	Faults *Faults
 }
 
 func (c *TCPConfig) defaults() {
@@ -189,6 +194,9 @@ type TCPStats struct {
 	// counters (0 when no cache is wired).
 	DigestHits   uint64
 	DigestMisses uint64
+	// FaultDropped counts messages discarded by injected link faults
+	// (faults.go); always 0 without a Faults matrix.
+	FaultDropped uint64
 }
 
 // TCP is a TCP transport node. Send/SendClient enqueue onto bounded
@@ -225,6 +233,11 @@ type TCP struct {
 	authRejects    atomic.Uint64
 	authDemotions  atomic.Uint64
 	verifiedFrames atomic.Uint64
+	faultDropped   atomic.Uint64
+
+	// delayCh feeds the delay heap goroutine (faults.go); nil unless a
+	// Faults matrix is configured.
+	delayCh chan delayedMsg
 }
 
 // NewTCP creates a TCP node delivering inbound messages to ep. Replicas
@@ -245,6 +258,11 @@ func NewTCP(cfg TCPConfig, ep Endpoint) (*TCP, error) {
 	t.cfg.Peers = cp
 	if w := t.cfg.verifyWorkers(); w > 0 {
 		t.pool = newVerifyPool(t, w)
+	}
+	if cfg.Faults != nil {
+		t.delayCh = make(chan delayedMsg, 1024)
+		t.wgReaders.Add(1)
+		go t.delayLoop()
 	}
 	if !cfg.IsClient {
 		ln, err := net.Listen("tcp", cfg.Listen)
@@ -294,6 +312,7 @@ func (t *TCP) Stats() TCPStats {
 		AuthRejects:    t.authRejects.Load(),
 		AuthDemotions:  t.authDemotions.Load(),
 		VerifiedFrames: t.verifiedFrames.Load(),
+		FaultDropped:   t.faultDropped.Load(),
 	}
 	if c := t.cfg.DigestCache; c != nil {
 		cs := c.Stats()
@@ -461,7 +480,7 @@ func (t *TCP) readLoop(c net.Conn, dialed bool) {
 			if hdr.isClient {
 				t.ep.DeliverClient(hdr.client, m)
 			} else {
-				t.ep.DeliverReplica(hdr.replica, m)
+				t.deliverReplica(hdr.replica, m)
 			}
 		})
 		putBuf(bp)
@@ -508,8 +527,14 @@ func (t *TCP) emit(kind flight.Kind, seq, detail uint64) {
 }
 
 // Send implements Transport: enqueue-only, per-peer queue, backpressure on
-// a connected-but-slow peer, drop-with-counter on an unreachable one.
+// a connected-but-slow peer, drop-with-counter on an unreachable one. A
+// fault-cut link drops here, before the queue — a partitioned peer's queue
+// must not fill with messages that would all burst out at heal time.
 func (t *TCP) Send(to types.ReplicaID, m types.Message) error {
+	if !t.cfg.IsClient && t.cfg.Faults.dropped(t.cfg.Self, to) {
+		t.faultDropped.Add(1)
+		return nil
+	}
 	q, err := t.peerQueueFor(to)
 	if err != nil {
 		return err

@@ -328,7 +328,7 @@ func (l *inLink) release() {
 			if l.isClient {
 				t.ep.DeliverClient(l.client, m)
 			} else {
-				t.ep.DeliverReplica(l.replica, m)
+				t.deliverReplica(l.replica, m)
 			}
 		}
 		releaseTask(task)

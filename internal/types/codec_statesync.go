@@ -58,7 +58,9 @@ func init() {
 			buf = appendU64(buf, v.TxnCount)
 			buf = appendU64(buf, v.Height)
 			buf = append(buf, v.HeadHash[:]...)
-			return appendBlob(buf, v.SyncPoint)
+			buf = appendBlob(buf, v.SyncPoint)
+			buf = appendBlob(buf, v.AttSyncPoint)
+			return appendBlob(buf, v.Att)
 		},
 		func(r *wireReader) Message {
 			return &StateOffer{
@@ -74,6 +76,8 @@ func init() {
 				Height:          r.u64(),
 				HeadHash:        r.digest(),
 				SyncPoint:       r.blob(),
+				AttSyncPoint:    r.blob(),
+				Att:             r.blob(),
 			}
 		})
 
@@ -129,6 +133,25 @@ func init() {
 				Replica: ReplicaID(r.u16()),
 				From:    r.u64(),
 				To:      r.u64(),
+			}
+		})
+
+	registerCodec(MsgCheckpointAttest,
+		func(buf []byte, m Message) []byte {
+			v := m.(*CheckpointAttest)
+			buf = appendU16(buf, uint16(v.Inst))
+			buf = appendU16(buf, uint16(v.Replica))
+			buf = appendU64(buf, v.Height)
+			buf = append(buf, v.Digest[:]...)
+			return appendBlob(buf, v.Share)
+		},
+		func(r *wireReader) Message {
+			return &CheckpointAttest{
+				Header:  Header{Inst: InstanceID(r.u16())},
+				Replica: ReplicaID(r.u16()),
+				Height:  r.u64(),
+				Digest:  r.digest(),
+				Share:   r.blob(),
 			}
 		})
 

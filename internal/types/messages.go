@@ -61,6 +61,10 @@ const (
 	MsgSnapshotChunk
 	MsgBlockRangeRequest
 	MsgBlockRange
+	// MsgCheckpointAttest carries one replica's threshold-signature share
+	// over a checkpoint-boundary attestation digest; f+1 matching shares
+	// combine into the aggregate attestation offers carry.
+	MsgCheckpointAttest
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -97,6 +101,7 @@ var msgTypeNames = map[MsgType]string{
 	MsgSnapshotChunk:     "SNAPSHOT-CHUNK",
 	MsgBlockRangeRequest: "BLOCK-RANGE-REQUEST",
 	MsgBlockRange:        "BLOCK-RANGE",
+	MsgCheckpointAttest:  "CHECKPOINT-ATTEST",
 }
 
 func (t MsgType) String() string {

@@ -52,10 +52,23 @@ type StateOffer struct {
 	// it lets the fetcher's machine rejoin at the head instead of waiting
 	// on rounds that were decided while it was gone.
 	SyncPoint []byte
+	// AttSyncPoint and Att, when non-empty, carry the checkpoint-boundary
+	// attestation of the advertised snapshot: AttSyncPoint is the machine
+	// frontier serialized at the snapshot's delivery boundary
+	// (sm.BoundarySyncable), and Att is a marshaled crypto.Attestation —
+	// f+1 combined threshold shares over the digest binding the Snap*
+	// fields to AttSyncPoint. A fetcher holding the group scheme can trust
+	// this ONE offer without f+1 byte-identical peers, which is what lets a
+	// wiped replica rejoin while the cluster is under load and its live
+	// heads never agree.
+	AttSyncPoint []byte
+	Att          []byte
 }
 
 func (m *StateOffer) Type() MsgType { return MsgStateOffer }
-func (m *StateOffer) WireSize() int { return ConsensusMsgBytes + len(m.SyncPoint) }
+func (m *StateOffer) WireSize() int {
+	return ConsensusMsgBytes + len(m.SyncPoint) + len(m.AttSyncPoint) + len(m.Att)
+}
 func (m *StateOffer) AuthPayload(buf []byte) []byte {
 	buf = m.marshal(buf, MsgStateOffer)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Replica))
@@ -68,7 +81,11 @@ func (m *StateOffer) AuthPayload(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, m.TxnCount)
 	buf = binary.BigEndian.AppendUint64(buf, m.Height)
 	buf = append(buf, m.HeadHash[:]...)
-	return append(buf, m.SyncPoint...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.SyncPoint)))
+	buf = append(buf, m.SyncPoint...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.AttSyncPoint)))
+	buf = append(buf, m.AttSyncPoint...)
+	return append(buf, m.Att...)
 }
 
 // SnapshotRequest asks a peer either for its StateOffer (Chunk == NoChunk, a
@@ -165,4 +182,28 @@ func (m *BlockRange) AuthPayload(buf []byte) []byte {
 		buf = append(buf, b...)
 	}
 	return buf
+}
+
+// CheckpointAttest carries one replica's threshold-signature share over its
+// checkpoint-boundary attestation digest (internal/statesync): Digest binds
+// the snapshot at Height to the machine frontier serialized at the same
+// delivery boundary, and Share is the sender's share over Digest. A replica
+// that gathers f+1 shares whose digests match its own combines them into
+// the aggregate Attestation its StateOffers then carry.
+type CheckpointAttest struct {
+	Header
+	Replica ReplicaID
+	Height  uint64
+	Digest  Digest
+	Share   []byte
+}
+
+func (m *CheckpointAttest) Type() MsgType { return MsgCheckpointAttest }
+func (m *CheckpointAttest) WireSize() int { return ConsensusMsgBytes + len(m.Share) }
+func (m *CheckpointAttest) AuthPayload(buf []byte) []byte {
+	buf = m.marshal(buf, MsgCheckpointAttest)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.Replica))
+	buf = binary.BigEndian.AppendUint64(buf, m.Height)
+	buf = append(buf, m.Digest[:]...)
+	return append(buf, m.Share...)
 }

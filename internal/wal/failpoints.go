@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Failpoints injects the disk failure modes of the chaos harness into a
+// live log: fsync errors (fsyncgate — the kernel may drop dirty pages after
+// a failed fsync, so the log must poison itself) and torn writes at crash
+// (a record partially flushed before power loss). One Failpoints value may
+// be shared across goroutines; arming and healing are atomic.
+//
+// Failpoints compose with the log's own failure handling rather than
+// bypassing it: an injected fsync error flows through the identical sticky
+// fatal-error path a real one would, and an injected torn write is repaired
+// by the identical torn-tail truncation Open performs on a real crash.
+type Failpoints struct {
+	fsyncErr  atomic.Pointer[error]
+	tornBytes atomic.Int64
+
+	// FsyncFails and TornWrites count the injections actually performed.
+	FsyncFails atomic.Uint64
+	TornWrites atomic.Uint64
+}
+
+// FailFsync arms the fsync failpoint: every subsequent fsync of logs wired
+// to this Failpoints returns err instead of touching the disk. The first
+// such failure poisons the log (sticky fatal), exactly like a real EIO.
+func (fp *Failpoints) FailFsync(err error) { fp.fsyncErr.Store(&err) }
+
+// HealFsync disarms the fsync failpoint. A log already poisoned stays
+// poisoned — healing the disk does not resurrect dropped dirty pages; the
+// replica must restart and replay.
+func (fp *Failpoints) HealFsync() { fp.fsyncErr.Store(nil) }
+
+// TearOnCrash arms the torn-write failpoint: the next CloseAbrupt flushes
+// the write buffer to the OS and then truncates up to n bytes off the tail
+// of the active segment, modeling a record caught mid-write by power loss.
+// The failpoint disarms after firing once.
+func (fp *Failpoints) TearOnCrash(n int) { fp.tornBytes.Store(int64(n)) }
+
+// fsync applies the fsync failpoint; returns (err, true) when armed.
+func (fp *Failpoints) fsync() (error, bool) {
+	if fp == nil {
+		return nil, false
+	}
+	if p := fp.fsyncErr.Load(); p != nil {
+		fp.FsyncFails.Add(1)
+		return *p, true
+	}
+	return nil, false
+}
+
+// tear applies (and disarms) the torn-write failpoint to the just-closed
+// active segment at path.
+func (fp *Failpoints) tear(path string) {
+	if fp == nil {
+		return
+	}
+	n := fp.tornBytes.Swap(0)
+	if n <= 0 {
+		return
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	// Never cut into the header: a segment shorter than its header is
+	// recreated at Open, which would silently drop the whole segment
+	// instead of exercising torn-tail truncation.
+	size := fi.Size() - n
+	if size < headerSize {
+		size = headerSize
+	}
+	if os.Truncate(path, size) == nil {
+		fp.TornWrites.Add(1)
+	}
+}

@@ -59,6 +59,9 @@ type Options struct {
 	// snapshot rather than lost. Ignored when the directory already holds
 	// segments (their names carry the authoritative base).
 	FirstIndex uint64
+	// Failpoints, when non-nil, injects disk faults (fsync errors, torn
+	// writes at crash) into this log. Chaos/test wiring only.
+	Failpoints *Failpoints
 }
 
 // ErrCorrupt reports damage that cannot be a torn tail: the log is not
@@ -567,7 +570,12 @@ func (l *Log) waitDurable(idx uint64) error {
 }
 
 // fsync flushes f's data to stable storage, via the test seam when set.
+// An armed fsync failpoint takes precedence over both the seam and the
+// real syscall: the injected error enters the same sticky-failure paths.
 func (l *Log) fsync(f *os.File) error {
+	if err, armed := l.opts.Failpoints.fsync(); armed {
+		return err
+	}
 	if l.fsyncFn != nil {
 		return l.fsyncFn(f)
 	}
@@ -718,6 +726,32 @@ func (l *Log) Replay(fn func(index uint64, payload []byte) error) error {
 	return nil
 }
 
+// Roll syncs and closes the active segment and starts a fresh one whose
+// first index is the next append's. Snapshot-coordinated pruning uses it
+// to place a segment boundary exactly at the snapshot height, so Prune can
+// then reclaim everything the snapshot summarizes (whole segments only)
+// and leave the log's base aligned with a retained checkpoint — the
+// invariant store.Open's rebase path checks. A no-op when the active
+// segment holds no records yet.
+func (l *Log) Roll() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.fatal != nil {
+		return l.fatal
+	}
+	if l.size <= headerSize {
+		return nil // active segment is empty: already a fresh cut
+	}
+	if err := l.rollLocked(); err != nil {
+		l.fatal = err
+		return err
+	}
+	return nil
+}
+
 // Prune deletes whole segments whose every record index is below keepFrom.
 // The active segment is never deleted. Partial segments are kept: pruning
 // is a space reclaim, not a truncation.
@@ -822,7 +856,19 @@ func (l *Log) CloseAbrupt() {
 		return
 	}
 	l.closed = true
+	var tearPath string
+	if fp := l.opts.Failpoints; fp != nil && fp.tornBytes.Load() > 0 {
+		// Torn-write failpoint: model the buffered bytes reaching the OS
+		// with the tail of the last record caught mid-write — flush, then
+		// cut the tail below. Reopen must repair it via torn-tail
+		// truncation.
+		l.w.Flush()
+		tearPath = l.segments[len(l.segments)-1].path
+	}
 	l.f.Close() // deliberately without Flush: the buffer dies with the "process"
+	if tearPath != "" {
+		l.opts.Failpoints.tear(tearPath)
+	}
 	l.mu.Unlock()
 
 	l.gc.mu.Lock()
